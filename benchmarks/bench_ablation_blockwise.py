@@ -1,0 +1,14 @@
+"""Ablation benchmark: block-wise DP vs whole-graph DP."""
+
+from conftest import run_once
+
+from repro.experiments import run_blockwise_ablation
+
+
+def test_ablation_blockwise(benchmark, device_name):
+    table = run_once(benchmark, run_blockwise_ablation, device=device_name)
+    for row in table.rows:
+        # Whole-graph search can explore cross-block stages, so it is at most
+        # marginally better, while it visits at least as many transitions.
+        assert row["whole_graph_ms"] <= row["blockwise_ms"] * 1.05
+        assert row["whole_graph_transitions"] >= row["blockwise_transitions"]

@@ -1,0 +1,13 @@
+"""Ablation benchmark: contention-aware cost model vs naive FLOPs cost model."""
+
+from conftest import run_once
+
+from repro.experiments import run_cost_model_ablation
+
+
+def test_ablation_cost_model(benchmark, device_name):
+    table = run_once(benchmark, run_cost_model_ablation, device=device_name)
+    for row in table.rows:
+        # Searching with the naive cost model can never beat searching with the
+        # simulator the schedules are evaluated on.
+        assert row["flops_cost_model_ms"] >= row["simulated_cost_model_ms"] - 1e-9

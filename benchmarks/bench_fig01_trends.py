@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 1 (hardware vs per-convolution work trends)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure1
+
+
+def test_figure1_trends(benchmark):
+    table = run_once(benchmark, run_figure1)
+    rows = table.rows
+    # Shape check: per-convolution work shrinks while peak performance grows.
+    assert rows[0]["avg_mflops_per_conv"] > rows[-1]["avg_mflops_per_conv"]
+    assert rows[0]["device_peak_gflops"] < rows[-1]["device_peak_gflops"]

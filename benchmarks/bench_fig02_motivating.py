@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 2 (sequential vs greedy vs IOS on the toy block)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure2
+from repro.experiments.fig02_motivating import summarize_figure2
+
+
+def test_figure2_motivating_example(benchmark, device_name):
+    table = run_once(benchmark, run_figure2, device=device_name)
+    summary = summarize_figure2(table)
+    # Paper: sequential 0.48 ms / 48% util, greedy 0.37 ms / 62%, IOS 0.33 ms / 70%.
+    assert summary["ios-both"]["total_latency_ms"] < summary["greedy"]["total_latency_ms"]
+    assert summary["greedy"]["total_latency_ms"] < summary["sequential"]["total_latency_ms"]
+    assert summary["ios-both"]["avg_utilization"] > summary["greedy"]["avg_utilization"]
+    assert summary["greedy"]["avg_utilization"] > summary["sequential"]["avg_utilization"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 (schedule comparison, batch 1, V100)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_schedule_comparison(benchmark, models, device_name):
+    table = run_once(benchmark, run_figure6, device=device_name, models=models)
+    for row in table.rows:
+        if row["network"] == "geomean":
+            continue
+        # IOS-Both is the best schedule (normalised throughput 1.0) on every
+        # network and strictly beats the sequential schedule.
+        assert row["ios-both"] == 1.0
+        assert row["sequential"] < 1.0
+        assert row["ios-parallel"] <= 1.0 + 1e-9
+        assert row["ios_speedup_vs_sequential"] > 1.05

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (active warps, sequential vs IOS)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure8
+
+
+def test_figure8_active_warps(benchmark, device_name):
+    table = run_once(benchmark, run_figure8, device=device_name)
+    ios = table.row_by("schedule", "ios-both")
+    seq = table.row_by("schedule", "sequential")
+    # Paper: IOS keeps ~1.58x more warps active than the sequential schedule.
+    assert ios["active_warp_ratio_vs_sequential"] > 1.2
+    assert ios["avg_active_warps"] > seq["avg_active_warps"]
+    assert ios["latency_ms"] < seq["latency_ms"]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 (latency vs optimisation cost under (r, s) pruning)."""
+
+from conftest import full_run, run_once
+
+from repro.experiments import run_figure9
+
+
+def test_figure9_pruning_tradeoff(benchmark, device_name):
+    # The paper sweeps Inception V3 and NasNet; NasNet's six searches take tens
+    # of minutes of DP, so quick mode sweeps Inception V3 only.
+    models = ("inception_v3", "nasnet_a") if full_run() else ("inception_v3",)
+    table = run_once(benchmark, run_figure9, models=models, device=device_name)
+    for model in models:
+        rows = [row for row in table.rows if row["network"] == model]
+        loosest = next(row for row in rows if row["r"] == 3 and row["s"] == 8)
+        tightest = next(row for row in rows if row["r"] == 1 and row["s"] == 3)
+        # Tighter pruning cannot find a better schedule but searches less.
+        assert tightest["latency_ms"] >= loosest["latency_ms"] - 1e-9
+        assert tightest["stage_measurements"] <= loosest["stage_measurements"]
+        # Even the most restrictive pruning still beats the sequential schedule.
+        assert tightest["speedup_vs_sequential"] > 1.05

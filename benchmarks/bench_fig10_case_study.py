@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10 (batch-specialised schedules of the last Inception block)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure10
+
+
+def test_figure10_case_study(benchmark, device_name):
+    table = run_once(benchmark, run_figure10, batch_sizes=(1, 32), device=device_name)
+    small = table.row_by("optimized_for_batch", 1)
+    large = table.row_by("optimized_for_batch", 32)
+    # Each schedule wins on the batch size it was optimised for.
+    assert small["latency_on_bs1_ms"] <= large["latency_on_bs1_ms"] + 1e-9
+    assert large["latency_on_bs32_ms"] <= small["latency_on_bs32_ms"] + 1e-9

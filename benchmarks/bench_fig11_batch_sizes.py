@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 11 (throughput vs batch size on Inception V3)."""
+
+from conftest import full_run, run_once
+
+from repro.experiments import run_figure11
+
+
+def test_figure11_batch_sweep(benchmark, device_name):
+    batch_sizes = (1, 16, 32, 64, 128) if full_run() else (1, 16, 32, 128)
+    table = run_once(
+        benchmark, run_figure11, model="inception_v3", batch_sizes=batch_sizes, device=device_name
+    )
+    first, last = table.rows[0], table.rows[-1]
+    # Throughput grows with batch size, IOS stays on top, TASO OOMs at 128.
+    assert last["ios"] > first["ios"]
+    for row in table.rows:
+        assert row["ios"] >= row["sequential"]
+        assert row["ios"] >= row["tvm-cudnn"]
+    assert table.row_by("batch_size", 128)["taso"] == 0.0

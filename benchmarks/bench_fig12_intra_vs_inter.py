@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 12 (TVM-AutoTune vs IOS, plus optimisation cost)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure12
+
+
+def test_figure12_intra_vs_inter(benchmark, models, device_name):
+    table = run_once(benchmark, run_figure12, models=models, device=device_name)
+    totals = table.row_by("network", "geomean/total")
+    # IOS's profiling cost is orders of magnitude below TVM's auto-tuning cost.
+    assert totals["ios_optimization_gpu_hours"] < 0.05 * totals["tvm_optimization_gpu_hours"]
+    # IOS wins on the dense-convolution networks (Inception V3, SqueezeNet).
+    for network in ("inception_v3", "squeezenet"):
+        if any(row["network"] == network for row in table.rows):
+            row = table.row_by("network", network)
+            assert row["ios"] >= row["tvm-autotune"]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 13 / Appendix A (worst-case complexity family)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure13
+
+
+def test_figure13_worst_case_bound(benchmark):
+    table = run_once(benchmark, run_figure13)
+    for row in table.rows:
+        assert abs(row["ratio"] - 1.0) < 1e-9

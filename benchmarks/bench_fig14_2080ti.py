@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 14 (Appendix B: schedule comparison on RTX 2080Ti)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure14
+
+
+def test_figure14_schedules_on_2080ti(benchmark, models):
+    table = run_once(benchmark, run_figure14, models=models)
+    for row in table.rows:
+        if row["network"] == "geomean":
+            continue
+        assert row["ios-both"] == 1.0
+        assert row["ios_speedup_vs_sequential"] > 1.05

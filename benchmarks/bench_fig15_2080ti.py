@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 15 (Appendix B: framework comparison on RTX 2080Ti)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure15
+
+
+def test_figure15_frameworks_on_2080ti(benchmark, models):
+    table = run_once(benchmark, run_figure15, models=models)
+    for row in table.rows:
+        if row["network"] == "geomean":
+            continue
+        assert row["ios"] == 1.0
+        assert row["ios_speedup_vs_best_baseline"] > 1.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 16 (Appendix C: block-wise speedup on Inception V3)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure16
+
+
+def test_figure16_blockwise_speedup(benchmark, device_name):
+    table = run_once(benchmark, run_figure16, device=device_name)
+    block_rows = [row for row in table.rows if row["block"] != "all_blocks_total"]
+    assert len(block_rows) == 11
+    # Every Inception module gets faster under IOS; the end-to-end speedup over
+    # all modules is substantial (paper: up to 2.3x per block, 1.6x end to end).
+    assert all(row["speedup"] >= 1.0 - 1e-9 for row in block_rows)
+    total = table.row_by("block", "all_blocks_total")
+    assert total["speedup"] > 1.2
+    # Later (wider) blocks speed up more than the early ones on average.
+    early = [row["speedup"] for row in block_rows[:3]]
+    late = [row["speedup"] for row in block_rows[-3:]]
+    assert max(late) >= max(early)

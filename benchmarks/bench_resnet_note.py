@@ -1,0 +1,13 @@
+"""Benchmark: reproduce the Section 5 note that ResNets gain only a few percent."""
+
+from conftest import run_once
+
+from repro.experiments import run_resnet_note
+
+
+def test_resnet_limited_parallelism(benchmark, device_name):
+    table = run_once(benchmark, run_resnet_note, device=device_name)
+    for row in table.rows:
+        # Small but non-negative gain (paper: 2 - 5 %); far below the
+        # multi-branch networks of Figure 6.
+        assert 0.0 <= row["speedup_percent"] < 20.0

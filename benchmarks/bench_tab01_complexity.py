@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (schedule-space statistics of the largest block)."""
+
+from conftest import full_run, run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_complexity(benchmark, models):
+    # Counting the unpruned schedule space of the RandWire block is itself a
+    # minutes-long exact enumeration; quick mode restricts the networks.
+    table = run_once(benchmark, run_table1, models=models)
+    for row in table.rows:
+        assert row["transitions"] <= row["transition_bound"]
+        # The DP explores exponentially fewer states than there are schedules.
+        assert row["num_schedules"] >= row["transitions"]

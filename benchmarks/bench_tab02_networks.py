@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 2 (the CNN benchmark suite)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+from repro.models import BENCHMARK_MODELS
+
+
+def test_table2_networks(benchmark):
+    table = run_once(benchmark, run_table2, models=BENCHMARK_MODELS)
+    assert len(table.rows) == 4
+    nasnet = table.row_by("network", "nasnet_a")
+    squeezenet = table.row_by("network", "squeezenet")
+    assert nasnet["num_operators"] > squeezenet["num_operators"]

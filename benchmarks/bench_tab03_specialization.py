@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (batch-size and device specialisation)."""
+
+from conftest import full_run, run_once
+
+from repro.experiments import run_table3_batch, run_table3_device
+
+
+def test_table3_batch_specialization(benchmark, device_name):
+    batch_sizes = (1, 32, 128) if full_run() else (1, 32)
+    table = run_once(
+        benchmark, run_table3_batch, model="inception_v3", batch_sizes=batch_sizes,
+        device=device_name,
+    )
+    # Each row's best entry must be the schedule specialised for that batch size.
+    assert all(row["diagonal_is_best"] for row in table.rows)
+
+
+def test_table3_device_specialization(benchmark):
+    table = run_once(benchmark, run_table3_device, model="inception_v3", devices=("k80", "v100"))
+    assert all(row["diagonal_is_best"] for row in table.rows)
+    k80_row = table.row_by("execute_on", "k80")
+    v100_row = table.row_by("execute_on", "v100")
+    # The V100 is several times faster than the K80 under every schedule.
+    assert k80_row["optimized_for_k80"] > 2 * v100_row["optimized_for_v100"]

@@ -1,0 +1,64 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by calling the
+corresponding ``repro.experiments.run_*`` function exactly once (``rounds=1``:
+the experiments are deterministic simulations, so statistical repetition adds
+nothing) and prints the resulting table so that ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction report.
+
+Environment variables
+---------------------
+``IOS_BENCH_FULL=1``
+    Run the heavy experiments on the full four-network benchmark suite
+    (Inception V3, RandWire, NasNet-A, SqueezeNet) and the full batch-size /
+    pruning grids.  The default "quick" configuration restricts the heaviest
+    searches (RandWire / NasNet-A take tens of minutes of DP search each) so
+    that the whole suite finishes in a few minutes while preserving every
+    qualitative conclusion; EXPERIMENTS.md records a full run.
+``IOS_BENCH_DEVICE``
+    Device preset to use (default ``v100``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Networks used by the heavy experiments in quick mode.
+QUICK_MODELS = ["inception_v3", "squeezenet"]
+#: The paper's full benchmark suite.
+FULL_MODELS = ["inception_v3", "randwire", "nasnet_a", "squeezenet"]
+
+
+def full_run() -> bool:
+    return os.environ.get("IOS_BENCH_FULL", "0") not in ("", "0", "false", "no")
+
+
+def bench_models() -> list[str]:
+    override = os.environ.get("IOS_BENCH_MODELS")
+    if override:
+        return [name.strip() for name in override.split(",") if name.strip()]
+    return FULL_MODELS if full_run() else QUICK_MODELS
+
+
+def bench_device() -> str:
+    return os.environ.get("IOS_BENCH_DEVICE", "v100")
+
+
+@pytest.fixture(scope="session")
+def models():
+    return bench_models()
+
+
+@pytest.fixture(scope="session")
+def device_name():
+    return bench_device()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+    table = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    return table

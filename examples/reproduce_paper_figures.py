@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline figures in one script.
+
+Runs the core evaluation of the paper end to end (on the quick model subset so
+it finishes in a few minutes) and prints each table:
+
+* Figure 2  — the motivating example with per-stage utilisation;
+* Figure 6  — sequential / greedy / IOS-Merge / IOS-Parallel / IOS-Both;
+* Figure 7  — cuDNN-based frameworks vs IOS;
+* Figure 8  — active warps, sequential vs IOS;
+* Table 3   — batch-size specialisation.
+
+For the full four-network suite use the benchmark harness instead::
+
+    IOS_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+Run with::
+
+    python examples/reproduce_paper_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    default_context,
+    run_figure2,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_table3_batch,
+)
+
+QUICK_MODELS = ["inception_v3", "squeezenet"]
+
+
+def main() -> None:
+    # One shared context so the IOS searches are reused across figures.
+    context = default_context("v100")
+    for title, table in [
+        ("Figure 2", run_figure2(context=context)),
+        ("Figure 6", run_figure6(models=QUICK_MODELS, context=context)),
+        ("Figure 7", run_figure7(models=QUICK_MODELS, context=context)),
+        ("Figure 8", run_figure8(context=context)),
+        ("Table 3 (1)", run_table3_batch(batch_sizes=(1, 32))),
+    ]:
+        print(f"\n{'=' * 80}\n{title}\n{'=' * 80}")
+        print(table.to_text())
+
+
+if __name__ == "__main__":
+    main()

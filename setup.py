@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works with older setuptools/pip combinations
+that lack full PEP 660 editable-install support (e.g. offline environments
+without the ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reproduction of IOS: Inter-Operator Scheduler for CNN Acceleration (MLSys 2021)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+    entry_points={"console_scripts": ["ios-bench=repro.experiments.cli:main"]},
+)

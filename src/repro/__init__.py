@@ -1,0 +1,87 @@
+"""repro — a reproduction of *IOS: Inter-Operator Scheduler for CNN Acceleration* (MLSys 2021).
+
+The package is organised as:
+
+* :mod:`repro.ir` — computation-graph IR (shape-annotated operators, blocks);
+* :mod:`repro.hardware` — simulated GPUs, kernel model, multi-stream contention;
+* :mod:`repro.runtime` — execution engine, profiler, warp tracer, memory planner;
+* :mod:`repro.models` — CNN model zoo (Inception V3, RandWire, NasNet-A, SqueezeNet, ...);
+* :mod:`repro.core` — the IOS dynamic-programming scheduler and baselines;
+* :mod:`repro.frameworks` — simulated baseline frameworks (TF, XLA, TASO, TVM, TensorRT);
+* :mod:`repro.experiments` — one harness per table/figure of the paper.
+
+Quick start::
+
+    from repro import optimize, get_device, build_model, measure_schedule
+
+    graph = build_model("inception_v3", batch_size=1)
+    device = get_device("v100")
+    schedule = optimize(graph, device)
+    print(measure_schedule(graph, schedule, device).latency_ms)
+"""
+
+from .ir import Graph, GraphBuilder, TensorShape
+from .hardware import DeviceSpec, get_device, list_devices
+from .models import BENCHMARK_MODELS, build_model, list_models
+from .core import (
+    IOSScheduler,
+    ParallelizationStrategy,
+    PruningStrategy,
+    Schedule,
+    SchedulerConfig,
+    SimulatedCostModel,
+    greedy_schedule,
+    measure_schedule,
+    schedule_latency_ms,
+    sequential_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TensorShape",
+    "Graph",
+    "GraphBuilder",
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "build_model",
+    "list_models",
+    "BENCHMARK_MODELS",
+    "Schedule",
+    "ParallelizationStrategy",
+    "PruningStrategy",
+    "SchedulerConfig",
+    "SimulatedCostModel",
+    "IOSScheduler",
+    "sequential_schedule",
+    "greedy_schedule",
+    "measure_schedule",
+    "schedule_latency_ms",
+    "optimize",
+    "__version__",
+]
+
+
+def optimize(
+    graph: Graph,
+    device: DeviceSpec,
+    variant: str = "ios-both",
+    pruning: PruningStrategy | None = None,
+) -> Schedule:
+    """One-call convenience wrapper: run the IOS search and return the schedule.
+
+    Parameters
+    ----------
+    graph:
+        The computation graph to schedule (see :func:`repro.models.build_model`).
+    device:
+        The simulated device to optimise for (see :func:`repro.hardware.get_device`).
+    variant:
+        ``"ios-both"`` (default), ``"ios-parallel"`` or ``"ios-merge"``.
+    pruning:
+        Optional ``(r, s)`` pruning strategy; defaults to the paper's r=3, s=8.
+    """
+    config = SchedulerConfig.variant(variant, pruning=pruning)
+    scheduler = IOSScheduler(SimulatedCostModel(device), config)
+    return scheduler.optimize_graph(graph).schedule

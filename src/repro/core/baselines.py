@@ -1,0 +1,61 @@
+"""Baseline schedules: Sequential and Greedy (Section 6.1).
+
+* The **sequential** schedule executes operators one at a time following a
+  topological order — what frameworks built on cuDNN do by default.
+* The **greedy** schedule (Tang et al., 2018) repeatedly puts *every* operator
+  whose predecessors have already been scheduled into the next stage.  It
+  maximises eagerness, which front-loads work (leaving later stages
+  under-utilised) and can over-subscribe the device (resource contention) —
+  the two failure modes IOS fixes.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..ir.ops import Placeholder
+from .schedule import ParallelizationStrategy, Schedule, Stage
+
+__all__ = ["sequential_schedule", "greedy_schedule"]
+
+
+def sequential_schedule(graph: Graph) -> Schedule:
+    """One operator per stage, in topological order."""
+    schedule = Schedule(graph_name=graph.name, origin="sequential")
+    for name in graph.topological_order():
+        if isinstance(graph.nodes[name], Placeholder):
+            continue
+        schedule.append(Stage((name,), ParallelizationStrategy.CONCURRENT))
+    schedule.validate(graph)
+    return schedule
+
+
+def greedy_schedule(graph: Graph, max_stage_size: int | None = None) -> Schedule:
+    """All currently executable operators go into the next stage.
+
+    ``max_stage_size`` optionally caps how many operators a stage may hold
+    (the pure greedy strategy of the paper has no cap).
+    """
+    schedule = Schedule(graph_name=graph.name, origin="greedy")
+    scheduled: set[str] = set()
+    remaining = [
+        name for name in graph.topological_order()
+        if not isinstance(graph.nodes[name], Placeholder)
+    ]
+    while remaining:
+        ready = []
+        for name in remaining:
+            preds = [
+                p for p in graph.nodes[name].inputs
+                if not isinstance(graph.nodes[p], Placeholder)
+            ]
+            if all(p in scheduled for p in preds):
+                ready.append(name)
+        if not ready:
+            raise RuntimeError(f"greedy schedule stalled on graph {graph.name!r}")
+        if max_stage_size is not None:
+            ready = ready[:max_stage_size]
+        schedule.append(Stage(tuple(ready), ParallelizationStrategy.CONCURRENT))
+        scheduled.update(ready)
+        remaining = [name for name in remaining if name not in scheduled]
+    schedule.validate(graph)
+    return schedule

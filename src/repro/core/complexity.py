@@ -1,0 +1,174 @@
+"""Schedule-space and complexity accounting (Section 4.2, Table 1, Appendix A).
+
+For each benchmarked network the paper reports, for its largest block,
+
+* ``n`` — the number of operators,
+* ``d`` — the DAG width,
+* the theoretical upper bound ``C(n/d + 2, 2)^d`` on the number of
+  (state, ending) pairs the DP visits,
+* the *real* number of transitions ``#(S, S')``, and
+* the total number of feasible schedules.
+
+This module computes all of those exactly (the transition and schedule counts
+by exhaustive DP over endings, without any latency measurements) plus the
+relaxed bound ``(n/d + 1)^(2d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.graph import Block, Graph
+from .endings import BlockIndex, PruningStrategy, enumerate_endings
+from .width import maximum_antichain_size
+
+__all__ = [
+    "transition_upper_bound",
+    "relaxed_transition_bound",
+    "count_transitions_and_states",
+    "count_schedules",
+    "BlockComplexity",
+    "block_complexity",
+    "largest_block",
+]
+
+
+def transition_upper_bound(n: int, d: int) -> float:
+    """The bound ``C(n/d + 2, 2)^d`` of the Theorem in Section 4.2.
+
+    ``n/d`` is treated as a real number (as in the paper's Table 1), so the
+    binomial coefficient is evaluated with its polynomial form
+    ``x * (x - 1) / 2`` at ``x = n/d + 2``.
+    """
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    x = n / d + 2.0
+    return (x * (x - 1.0) / 2.0) ** d
+
+
+def relaxed_transition_bound(n: int, d: int) -> float:
+    """The relaxed bound ``(n/d + 1)^(2d)``."""
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    return (n / d + 1.0) ** (2 * d)
+
+
+def count_transitions_and_states(
+    graph: Graph,
+    op_names: list[str],
+    pruning: PruningStrategy | None = None,
+) -> tuple[int, int]:
+    """Exact number of DP transitions ``#(S, S')`` and reachable states.
+
+    A transition is a pair of a reachable state ``S`` (the full set minus a
+    union of endings) and an admissible ending ``S'`` of ``S``.  This is the
+    quantity reported in the ``#(S, S')`` column of Table 1; without pruning
+    it equals the number of edges in the state graph of Figure 5.
+    """
+    index = BlockIndex(graph, op_names)
+    pruning = pruning or PruningStrategy.unpruned()
+    visited: set[int] = set()
+    transitions = 0
+
+    stack = [index.full_mask]
+    visited.add(index.full_mask)
+    while stack:
+        state = stack.pop()
+        if state == 0:
+            continue
+        for ending, _groups in enumerate_endings(index, state, pruning):
+            transitions += 1
+            nxt = state & ~ending
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append(nxt)
+    # The empty state is reachable but contributes no outgoing transitions.
+    num_states = len(visited)
+    return transitions, num_states
+
+
+def count_schedules(
+    graph: Graph,
+    op_names: list[str],
+    pruning: PruningStrategy | None = None,
+) -> int:
+    """Exact number of feasible schedules of the operator set.
+
+    A schedule is an ordered decomposition of the operator set into endings;
+    the count satisfies ``f(S) = sum over endings S' of S of f(S - S')`` with
+    ``f(empty) = 1``.  Without pruning this reproduces the "#Schedules" column
+    of Table 1 (e.g. 9.2e22 for the largest RandWire block in the paper).
+    """
+    index = BlockIndex(graph, op_names)
+    pruning = pruning or PruningStrategy.unpruned()
+    memo: dict[int, int] = {0: 1}
+
+    def count(state: int) -> int:
+        cached = memo.get(state)
+        if cached is not None:
+            return cached
+        total = 0
+        for ending, _groups in enumerate_endings(index, state, pruning):
+            total += count(state & ~ending)
+        memo[state] = total
+        return total
+
+    return count(index.full_mask)
+
+
+@dataclass(frozen=True)
+class BlockComplexity:
+    """All Table-1 quantities for one block."""
+
+    network: str
+    block_name: str
+    num_operators: int
+    width: int
+    upper_bound: float
+    num_transitions: int
+    num_states: int
+    num_schedules: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "network": self.network,
+            "block": self.block_name,
+            "n": self.num_operators,
+            "d": self.width,
+            "bound": self.upper_bound,
+            "#(S,S')": self.num_transitions,
+            "#schedules": self.num_schedules,
+        }
+
+
+def largest_block(graph: Graph) -> Block:
+    """The block with the most schedulable operators (Table 1 analyses these)."""
+    blocks = [b for b in graph.blocks if graph.schedulable_names(b)]
+    if not blocks:
+        raise ValueError(f"graph {graph.name!r} has no non-empty blocks")
+    return max(blocks, key=lambda b: len(graph.schedulable_names(b)))
+
+
+def block_complexity(
+    graph: Graph,
+    block: Block | None = None,
+    pruning: PruningStrategy | None = None,
+    count_schedule_space: bool = True,
+) -> BlockComplexity:
+    """Compute the Table-1 row for one block (default: the largest block)."""
+    block = block or largest_block(graph)
+    op_names = graph.schedulable_names(block)
+    n = len(op_names)
+    d = maximum_antichain_size(graph, op_names)
+    transitions, states = count_transitions_and_states(graph, op_names, pruning)
+    schedules = count_schedules(graph, op_names, pruning) if count_schedule_space else -1
+    return BlockComplexity(
+        network=graph.name,
+        block_name=block.name,
+        num_operators=n,
+        width=d,
+        upper_bound=transition_upper_bound(n, d),
+        num_transitions=transitions,
+        num_states=states,
+        num_schedules=schedules,
+    )

@@ -1,0 +1,188 @@
+"""Stage-latency cost models.
+
+IOS is *profile based*: ``GENERATE STAGE`` measures the latency of a candidate
+stage under both parallelisation strategies directly on the hardware and keeps
+the better one (Algorithm 1, L23-33).  The :class:`CostModel` interface below
+is that latency oracle; :class:`SimulatedCostModel` backs it with the
+simulated device and :class:`~repro.runtime.profiler.Profiler`, and
+:class:`FlopsCostModel` is a cheap analytical stand-in used by tests and by
+the contention-model ablation.
+
+Stage measurements are memoised: different schedules share sub-schedules (the
+very observation that motivates the dynamic program), so the same candidate
+stage is priced many times during a search.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..hardware.device import DeviceSpec
+from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from ..ir.graph import Graph
+from ..runtime.executor import ExecutionStage
+from ..runtime.profiler import Profiler
+from .merge import build_merged_operator, can_merge
+from .schedule import ParallelizationStrategy, connected_groups
+
+__all__ = ["StageChoice", "CostModel", "SimulatedCostModel", "FlopsCostModel"]
+
+
+@dataclass(frozen=True)
+class StageChoice:
+    """Outcome of GENERATE STAGE for one candidate stage."""
+
+    latency_ms: float
+    strategy: ParallelizationStrategy
+
+
+class CostModel(ABC):
+    """Latency oracle used by the dynamic-programming scheduler."""
+
+    def __init__(self) -> None:
+        #: Number of distinct stage latencies actually measured (cache misses).
+        self.num_measurements = 0
+        self._cache: dict[tuple, float] = {}
+
+    # --------------------------------------------------------------- interface
+    @abstractmethod
+    def _measure_stage(
+        self, graph: Graph, op_names: tuple[str, ...], strategy: ParallelizationStrategy
+    ) -> float:
+        """Measure (simulate) the latency of one stage; no caching."""
+
+    # ----------------------------------------------------------------- public
+    def stage_latency(
+        self,
+        graph: Graph,
+        op_names: Sequence[str],
+        strategy: ParallelizationStrategy,
+    ) -> float:
+        """Memoised latency of executing ``op_names`` as one stage."""
+        key = (graph.name, graph.batch_size, frozenset(op_names), strategy)
+        if key in self._cache:
+            return self._cache[key]
+        latency = self._measure_stage(graph, tuple(op_names), strategy)
+        self._cache[key] = latency
+        self.num_measurements += 1
+        return latency
+
+    def generate_stage(self, graph: Graph, op_names: Sequence[str],
+                       strategies: Sequence[ParallelizationStrategy] | None = None) -> StageChoice:
+        """GENERATE STAGE: pick the better parallelisation strategy for a stage.
+
+        ``strategies`` restricts the candidates (IOS-Parallel considers only
+        concurrent execution, IOS-Merge only operator merge, IOS-Both both).
+        If operator merge is requested but the operators cannot be merged its
+        latency is infinite, forcing concurrent execution — and if *only*
+        merge was requested, concurrent execution of a single sequential group
+        is used as the fallback, mirroring how IOS-Merge degenerates to the
+        sequential schedule on RandWire/NasNet (Section 6.1).
+        """
+        candidates = list(strategies) if strategies is not None else [
+            ParallelizationStrategy.CONCURRENT,
+            ParallelizationStrategy.MERGE,
+        ]
+        best: StageChoice | None = None
+        for strategy in candidates:
+            if strategy is ParallelizationStrategy.MERGE:
+                if len(op_names) >= 2 and can_merge(graph, op_names):
+                    latency = self.stage_latency(graph, op_names, strategy)
+                else:
+                    continue
+            else:
+                latency = self.stage_latency(graph, op_names, strategy)
+            if best is None or latency < best.latency_ms:
+                best = StageChoice(latency_ms=latency, strategy=strategy)
+        if best is None:
+            # Only MERGE was requested and the stage is not mergeable: fall
+            # back to executing the operators sequentially in one group.
+            latency = self.stage_latency(graph, op_names, ParallelizationStrategy.CONCURRENT)
+            best = StageChoice(latency_ms=latency, strategy=ParallelizationStrategy.CONCURRENT)
+        return best
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def stage_to_execution(graph: Graph, op_names: Sequence[str],
+                       strategy: ParallelizationStrategy, label: str = "") -> ExecutionStage:
+    """Lower one (operators, strategy) stage into an executable stage.
+
+    Shared by the cost models and by :mod:`repro.core.lowering` so that the
+    latency used during the search is exactly the latency of the executed
+    schedule.
+    """
+    if strategy is ParallelizationStrategy.MERGE and len(op_names) >= 2:
+        merged = build_merged_operator(graph, op_names)
+        operators = [[merged.merged]]
+        return ExecutionStage(groups=operators, strategy=strategy.value, label=label)
+    groups = connected_groups(graph, op_names)
+    operator_groups = [[graph.nodes[name] for name in group] for group in groups]
+    return ExecutionStage(groups=operator_groups, strategy=strategy.value, label=label)
+
+
+class SimulatedCostModel(CostModel):
+    """Cost model that measures stages on the simulated GPU.
+
+    This is the configuration used by every experiment: it mirrors the paper's
+    methodology of profiling each candidate stage on the target device with the
+    target batch size.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        profile: KernelProfile = CUDNN_PROFILE,
+        warmup: int = 1,
+        repeats: int = 3,
+        noise_std: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.device = device
+        self.profile = profile
+        self.profiler = Profiler(
+            device, profile, warmup=warmup, repeats=repeats, noise_std=noise_std, seed=seed
+        )
+
+    def _measure_stage(
+        self, graph: Graph, op_names: tuple[str, ...], strategy: ParallelizationStrategy
+    ) -> float:
+        stage = stage_to_execution(graph, op_names, strategy)
+        return self.profiler.stage_latency_ms(stage)
+
+
+class FlopsCostModel(CostModel):
+    """Analytical cost model: latency proportional to FLOPs, with a fixed
+    per-operator overhead and an idealised speed-up for concurrent groups.
+
+    Useful for fast unit tests of the dynamic program (its optima are easy to
+    compute by hand) and as the baseline of the contention-model ablation
+    benchmark; not used for the paper-reproduction figures.
+    """
+
+    def __init__(self, flops_per_ms: float = 1e9, overhead_ms: float = 0.01):
+        super().__init__()
+        if flops_per_ms <= 0:
+            raise ValueError("flops_per_ms must be positive")
+        self.flops_per_ms = flops_per_ms
+        self.overhead_ms = overhead_ms
+
+    def _measure_stage(
+        self, graph: Graph, op_names: tuple[str, ...], strategy: ParallelizationStrategy
+    ) -> float:
+        if strategy is ParallelizationStrategy.MERGE and len(op_names) >= 2:
+            merged = build_merged_operator(graph, op_names)
+            return self.overhead_ms + merged.merged.flops() / self.flops_per_ms
+        groups = connected_groups(graph, op_names)
+        group_latencies = []
+        for group in groups:
+            flops = sum(graph.nodes[name].flops() for name in group)
+            group_latencies.append(len(group) * self.overhead_ms + flops / self.flops_per_ms)
+        return max(group_latencies) if group_latencies else 0.0

@@ -1,0 +1,276 @@
+"""The Inter-Operator Scheduler: Algorithm 1 of the paper.
+
+``IOSScheduler`` finds, for every block of a computation graph, the sequence of
+stages (with per-stage parallelisation strategies) minimising total latency
+according to a :class:`~repro.core.cost_model.CostModel`.  It implements the
+three functions of Algorithm 1:
+
+* ``INTER OPERATOR SCHEDULER`` — :meth:`IOSScheduler.optimize_block`
+  (entry point + schedule reconstruction from ``choice[·]``),
+* ``SCHEDULER`` — the memoised recursion over operator subsets
+  (:meth:`IOSScheduler._scheduler`),
+* ``GENERATE STAGE`` — delegated to :meth:`CostModel.generate_stage`.
+
+Operator subsets are represented as bitmasks over a per-block
+:class:`~repro.core.endings.BlockIndex`; endings are enumerated subject to the
+``(r, s)`` pruning strategy of Section 4.3.
+
+Modern CNNs stack blocks, so — exactly as the paper does (Section 4.2) — each
+block is optimised independently and the per-block schedules are concatenated.
+Structurally identical blocks (e.g. repeated NasNet cells) share one search via
+a block fingerprint cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..ir.graph import Block, Graph
+from .cost_model import CostModel, StageChoice
+from .endings import BlockIndex, PruningStrategy, enumerate_endings
+from .merge import can_merge
+from .schedule import ParallelizationStrategy, Schedule, Stage
+from .width import maximum_antichain_size
+
+__all__ = ["SchedulerConfig", "BlockStats", "ScheduleResult", "IOSScheduler", "IOSVariant"]
+
+
+#: Named strategy sets corresponding to the paper's IOS variants (Section 6.1).
+IOSVariant = {
+    "ios-both": (ParallelizationStrategy.CONCURRENT, ParallelizationStrategy.MERGE),
+    "ios-parallel": (ParallelizationStrategy.CONCURRENT,),
+    "ios-merge": (ParallelizationStrategy.MERGE,),
+}
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Configuration of one IOS search."""
+
+    #: Pruning strategy (r, s); the paper's default is r=3, s=8.
+    pruning: PruningStrategy = PruningStrategy(max_group_size=3, max_groups=8)
+    #: Which parallelisation strategies GENERATE STAGE may choose between.
+    strategies: tuple[ParallelizationStrategy, ...] = IOSVariant["ios-both"]
+    #: Reuse search results across structurally identical blocks.
+    reuse_identical_blocks: bool = True
+
+    @classmethod
+    def variant(cls, name: str, pruning: PruningStrategy | None = None,
+                reuse_identical_blocks: bool = True) -> "SchedulerConfig":
+        """Build a config for one of the named IOS variants of the paper."""
+        key = name.lower()
+        if key not in IOSVariant:
+            raise KeyError(f"unknown IOS variant {name!r}; choose from {sorted(IOSVariant)}")
+        return cls(
+            pruning=pruning if pruning is not None else PruningStrategy(3, 8),
+            strategies=IOSVariant[key],
+            reuse_identical_blocks=reuse_identical_blocks,
+        )
+
+
+@dataclass
+class BlockStats:
+    """Search statistics for one block (feeds Table 1 and Figure 9)."""
+
+    block_name: str
+    num_operators: int
+    width: int
+    num_states: int = 0
+    num_transitions: int = 0
+    num_measurements: int = 0
+    optimized_latency_ms: float = 0.0
+    elapsed_s: float = 0.0
+    reused_from: str | None = None
+
+
+@dataclass
+class ScheduleResult:
+    """Result of optimising a whole graph."""
+
+    schedule: Schedule
+    block_stats: list[BlockStats] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def total_transitions(self) -> int:
+        return sum(stats.num_transitions for stats in self.block_stats)
+
+    @property
+    def total_measurements(self) -> int:
+        return sum(stats.num_measurements for stats in self.block_stats)
+
+    @property
+    def predicted_latency_ms(self) -> float:
+        """Sum of optimal per-block stage latencies found by the DP."""
+        return sum(stats.optimized_latency_ms for stats in self.block_stats)
+
+
+class IOSScheduler:
+    """Dynamic-programming inter-operator scheduler (Algorithm 1)."""
+
+    def __init__(self, cost_model: CostModel, config: SchedulerConfig | None = None):
+        self.cost_model = cost_model
+        self.config = config or SchedulerConfig()
+        #: Cache of per-block results keyed by structural fingerprint.
+        self._block_cache: dict[tuple, tuple[list[tuple[tuple[int, ...], ParallelizationStrategy]], BlockStats]] = {}
+
+    # --------------------------------------------------------------- block DP
+    def optimize_block(self, graph: Graph, block: Block) -> tuple[list[Stage], BlockStats]:
+        """Find an optimal stage decomposition for one block.
+
+        Returns the stages (in execution order) and the search statistics.
+        """
+        op_names = graph.schedulable_names(block)
+        if not op_names:
+            return [], BlockStats(block_name=block.name, num_operators=0, width=0)
+
+        fingerprint = self._block_fingerprint(graph, op_names)
+        index = BlockIndex(graph, op_names)
+
+        if self.config.reuse_identical_blocks and fingerprint in self._block_cache:
+            cached_stages, cached_stats = self._block_cache[fingerprint]
+            stages = [
+                Stage(tuple(index.names[i] for i in positions), strategy)
+                for positions, strategy in cached_stages
+            ]
+            stats = BlockStats(
+                block_name=block.name,
+                num_operators=cached_stats.num_operators,
+                width=cached_stats.width,
+                num_states=cached_stats.num_states,
+                num_transitions=cached_stats.num_transitions,
+                num_measurements=0,
+                optimized_latency_ms=cached_stats.optimized_latency_ms,
+                elapsed_s=0.0,
+                reused_from=cached_stats.block_name,
+            )
+            return stages, stats
+
+        start = time.perf_counter()
+        measurements_before = self.cost_model.num_measurements
+
+        cost: dict[int, float] = {0: 0.0}
+        choice: dict[int, tuple[int, ParallelizationStrategy]] = {}
+        transitions = 0
+
+        def scheduler(state: int) -> float:
+            """SCHEDULER(S): minimal latency over all schedules of ``state``."""
+            nonlocal transitions
+            cached = cost.get(state)
+            if cached is not None:
+                return cached
+            best = float("inf")
+            best_choice: tuple[int, ParallelizationStrategy] | None = None
+            merge_only = ParallelizationStrategy.CONCURRENT not in self.config.strategies
+            for ending, _groups in enumerate_endings(index, state, self.config.pruning):
+                op_subset = index.names_of(ending)
+                if merge_only and len(op_subset) > 1 and not can_merge(graph, op_subset):
+                    # The IOS-Merge variant only forms multi-operator stages by
+                    # merging; unmergeable endings degenerate to single-operator
+                    # stages, so skip them (Section 6.1: IOS-Merge equals the
+                    # sequential schedule on RandWire/NasNet).
+                    continue
+                transitions += 1
+                stage_choice: StageChoice = self.cost_model.generate_stage(
+                    graph, op_subset, self.config.strategies
+                )
+                total = scheduler(state & ~ending) + stage_choice.latency_ms
+                if total < best:
+                    best = total
+                    best_choice = (ending, stage_choice.strategy)
+            if best_choice is None:
+                raise RuntimeError(
+                    f"no admissible ending found for a state of block {block.name!r}; "
+                    "the pruning strategy is too restrictive"
+                )
+            cost[state] = best
+            choice[state] = best_choice
+            return best
+
+        optimal_latency = scheduler(index.full_mask)
+
+        # Schedule construction (INTER OPERATOR SCHEDULER, L6-11): walk the
+        # recorded choices from the full set back to the empty set.
+        reversed_stages: list[tuple[int, ParallelizationStrategy]] = []
+        state = index.full_mask
+        while state:
+            ending, strategy = choice[state]
+            reversed_stages.append((ending, strategy))
+            state &= ~ending
+        stage_masks = list(reversed(reversed_stages))
+
+        stages = [
+            Stage(index.names_of(mask), strategy) for mask, strategy in stage_masks
+        ]
+        stats = BlockStats(
+            block_name=block.name,
+            num_operators=index.n,
+            width=maximum_antichain_size(graph, op_names),
+            num_states=len(cost) - 1,
+            num_transitions=transitions,
+            num_measurements=self.cost_model.num_measurements - measurements_before,
+            optimized_latency_ms=optimal_latency,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+        if self.config.reuse_identical_blocks:
+            cached_stages = [
+                (tuple(i for i in range(index.n) if mask >> i & 1), strategy)
+                for mask, strategy in stage_masks
+            ]
+            self._block_cache[fingerprint] = (cached_stages, stats)
+        return stages, stats
+
+    # ------------------------------------------------------------- whole graph
+    def optimize_graph(self, graph: Graph) -> ScheduleResult:
+        """Optimise every block of ``graph`` and concatenate the block schedules."""
+        start = time.perf_counter()
+        schedule = Schedule(graph_name=graph.name, origin=self._origin_label())
+        all_stats: list[BlockStats] = []
+        for block in graph.blocks:
+            stages, stats = self.optimize_block(graph, block)
+            schedule.extend(stages)
+            all_stats.append(stats)
+        schedule.validate(graph)
+        return ScheduleResult(
+            schedule=schedule,
+            block_stats=all_stats,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _origin_label(self) -> str:
+        strategies = set(self.config.strategies)
+        if strategies == set(IOSVariant["ios-both"]):
+            label = "ios-both"
+        elif strategies == set(IOSVariant["ios-parallel"]):
+            label = "ios-parallel"
+        else:
+            label = "ios-merge"
+        return f"{label} ({self.config.pruning.describe()})"
+
+    def _block_fingerprint(self, graph: Graph, op_names: Sequence[str]) -> tuple:
+        """Structural fingerprint of a block: operator configs + local wiring.
+
+        Two blocks with identical fingerprints have isomorphic internal
+        structure, identical operator attributes and identical input shapes,
+        so their optimal schedules are identical up to operator renaming.
+        """
+        order = graph.topological_order(list(op_names))
+        position = {name: i for i, name in enumerate(order)}
+        entries = []
+        for name in order:
+            op = graph.nodes[name]
+            local_inputs = tuple(
+                position[p] if p in position else f"ext:{graph.nodes[p].output_shape}"
+                for p in op.inputs
+            )
+            attrs = tuple(sorted((k, str(v)) for k, v in op.attrs().items()))
+            entries.append((op.kind, attrs, local_inputs, str(op.output_shape)))
+        return (
+            tuple(entries),
+            self.config.pruning,
+            tuple(self.config.strategies),
+        )

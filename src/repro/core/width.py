@@ -1,0 +1,70 @@
+"""DAG width (Definition 1) via Dilworth's theorem.
+
+The *width* ``d`` of a DAG is the size of its largest antichain — the largest
+set of operators no two of which are connected by a path.  It governs the
+complexity of IOS (Theorem in Section 4.2).  By Dilworth's theorem the largest
+antichain equals the minimum number of chains needed to cover the DAG, and the
+minimum chain cover of a DAG with ``n`` vertices equals ``n - M`` where ``M``
+is a maximum matching of the bipartite graph whose edges are the pairs
+``(u, v)`` with a path from ``u`` to ``v`` (the transitive closure).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from ..ir.graph import Block, Graph
+
+__all__ = ["dag_width", "block_width", "transitive_closure_masks", "maximum_antichain_size"]
+
+
+def transitive_closure_masks(graph: Graph, op_names: Sequence[str]) -> dict[str, set[str]]:
+    """Reachability sets (descendants) of each operator within ``op_names``."""
+    names = graph.topological_order(list(op_names))
+    name_set = set(names)
+    reachable: dict[str, set[str]] = {name: set() for name in names}
+    # Walk in reverse topological order so successors' reachability is complete.
+    for name in reversed(names):
+        for succ in graph.successors(name):
+            if succ in name_set:
+                reachable[name].add(succ)
+                reachable[name] |= reachable[succ]
+    return reachable
+
+
+def maximum_antichain_size(graph: Graph, op_names: Sequence[str]) -> int:
+    """Size of the largest antichain of the subgraph induced by ``op_names``."""
+    names = [n for n in graph.topological_order(list(op_names))]
+    n = len(names)
+    if n == 0:
+        return 0
+    reachable = transitive_closure_masks(graph, names)
+
+    # Minimum chain cover via König: build the bipartite "split" graph where
+    # the left copy of u connects to the right copy of v iff v is reachable
+    # from u, and find a maximum matching.
+    bipartite = nx.Graph()
+    left = {name: ("L", name) for name in names}
+    right = {name: ("R", name) for name in names}
+    bipartite.add_nodes_from(left.values(), bipartite=0)
+    bipartite.add_nodes_from(right.values(), bipartite=1)
+    for u in names:
+        for v in reachable[u]:
+            bipartite.add_edge(left[u], right[v])
+    matching = nx.bipartite.maximum_matching(bipartite, top_nodes=list(left.values()))
+    # `maximum_matching` returns both directions; count matched left nodes.
+    matched = sum(1 for node in matching if node[0] == "L")
+    return n - matched
+
+
+def dag_width(graph: Graph, op_names: Sequence[str] | None = None) -> int:
+    """Width of the whole graph or of the subgraph induced by ``op_names``."""
+    names = op_names if op_names is not None else graph.schedulable_names()
+    return maximum_antichain_size(graph, list(names))
+
+
+def block_width(graph: Graph, block: Block) -> int:
+    """Width of one block (the ``d`` reported per network in Table 1)."""
+    return maximum_antichain_size(graph, graph.schedulable_names(block))

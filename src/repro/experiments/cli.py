@@ -1,0 +1,106 @@
+"""Command-line entry point: ``ios-bench <experiment> [options]``.
+
+Runs any of the paper-reproduction experiments and prints its table; optionally
+writes CSV.  Example::
+
+    ios-bench figure6 --device v100
+    ios-bench table3-batch --model inception_v3
+    ios-bench all --quick --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from .ablations import run_blockwise_ablation, run_cost_model_ablation
+from .fig01_trends import run_figure1
+from .fig02_motivating import run_figure2
+from .fig06_schedules import run_figure6, run_figure14
+from .fig07_frameworks import run_figure7, run_figure15
+from .fig08_active_warps import run_figure8
+from .fig09_pruning import run_figure9
+from .fig10_case_study import run_figure10
+from .fig11_batch_sizes import run_figure11
+from .fig12_intra_vs_inter import run_figure12
+from .fig13_worst_case import run_figure13
+from .fig16_blockwise import run_figure16
+from .resnet_note import run_resnet_note
+from .tab01_complexity import run_table1
+from .tab02_networks import run_table2
+from .tab03_specialization import run_table3_batch, run_table3_device
+from .tables import ExperimentTable
+
+__all__ = ["main", "EXPERIMENTS", "QUICK_MODELS"]
+
+#: Model subset used with ``--quick`` (fast enough for CI smoke runs).
+QUICK_MODELS = ["inception_v3", "squeezenet"]
+
+
+def _experiments(quick: bool, device: str) -> dict[str, Callable[[], ExperimentTable]]:
+    models = QUICK_MODELS if quick else None
+    return {
+        "figure1": lambda: run_figure1(),
+        "figure2": lambda: run_figure2(device=device),
+        "table1": lambda: run_table1(models=models),
+        "table2": lambda: run_table2(models=models),
+        "figure6": lambda: run_figure6(device=device, models=models),
+        "figure7": lambda: run_figure7(device=device, models=models),
+        "figure8": lambda: run_figure8(device=device),
+        "figure9": lambda: run_figure9(models=("inception_v3",) if quick else ("inception_v3", "nasnet_a"), device=device),
+        "table3-batch": lambda: run_table3_batch(device=device, batch_sizes=(1, 32) if quick else (1, 32, 128)),
+        "table3-device": lambda: run_table3_device(),
+        "figure10": lambda: run_figure10(device=device),
+        "figure11": lambda: run_figure11(device=device, batch_sizes=(1, 16, 32) if quick else (1, 16, 32, 64, 128)),
+        "figure12": lambda: run_figure12(device=device, models=models),
+        "figure13": lambda: run_figure13(),
+        "figure14": lambda: run_figure14(models=models),
+        "figure15": lambda: run_figure15(models=models),
+        "figure16": lambda: run_figure16(device=device),
+        "resnet-note": lambda: run_resnet_note(device=device),
+        "ablation-cost-model": lambda: run_cost_model_ablation(device=device),
+        "ablation-blockwise": lambda: run_blockwise_ablation(device=device),
+    }
+
+
+#: Stable list of experiment names shown in ``--help`` and accepted by ``run``.
+EXPERIMENTS = sorted(_experiments(quick=True, device="v100"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (installed as ``ios-bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="ios-bench",
+        description="Reproduce tables and figures of 'IOS: Inter-Operator Scheduler for CNN "
+        "Acceleration' on the simulated GPU.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument("--device", default="v100", help="device preset (default: v100)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="restrict heavy experiments to a small model subset / fewer batch sizes",
+    )
+    parser.add_argument("--csv-dir", default=None, help="directory to write CSV outputs to")
+    args = parser.parse_args(argv)
+
+    registry = _experiments(quick=args.quick, device=args.device)
+    names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    for name in names:
+        table = registry[name]()
+        print(table.to_text())
+        print()
+        if args.csv_dir is not None:
+            path = Path(args.csv_dir) / f"{table.experiment_id}.csv"
+            table.to_csv(path)
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Shared plumbing for the experiment modules.
+
+Most experiments need the same ingredients: build a benchmark network, compute
+its five schedules (sequential, greedy, IOS-Merge, IOS-Parallel, IOS-Both),
+execute them on a simulated device and aggregate throughputs.  The helpers
+here centralise that so the per-figure modules stay small, and cache IOS
+searches within the process so that e.g. Figure 6 and Figure 16 do not repeat
+the same optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.baselines import greedy_schedule, sequential_schedule
+from ..core.cost_model import SimulatedCostModel
+from ..core.dp_scheduler import IOSScheduler, ScheduleResult, SchedulerConfig
+from ..core.endings import PruningStrategy
+from ..core.lowering import measure_schedule
+from ..core.schedule import Schedule
+from ..hardware.device import DeviceSpec, get_device
+from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from ..ir.graph import Graph
+from ..models import build_model
+
+__all__ = ["ScheduleRun", "ExperimentContext", "SCHEDULE_LABELS", "default_context"]
+
+#: Display order of the five schedules compared in Figures 6 and 14.
+SCHEDULE_LABELS = ["sequential", "greedy", "ios-merge", "ios-parallel", "ios-both"]
+
+
+@dataclass
+class ScheduleRun:
+    """One (schedule, measurement) pair."""
+
+    label: str
+    schedule: Schedule
+    latency_ms: float
+    throughput: float
+    optimization_s: float = 0.0
+    optimization_gpu_ms: float = 0.0
+    num_measurements: int = 0
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state for one experiment run (device, kernel profile, caches)."""
+
+    device: DeviceSpec
+    profile: KernelProfile = CUDNN_PROFILE
+    pruning: PruningStrategy = field(default_factory=lambda: PruningStrategy(3, 8))
+    _graphs: dict[tuple[str, int], Graph] = field(default_factory=dict)
+    _ios_results: dict[tuple, tuple[ScheduleResult, float, float, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ graphs
+    def graph(self, model: str, batch_size: int = 1) -> Graph:
+        key = (model, batch_size)
+        if key not in self._graphs:
+            self._graphs[key] = build_model(model, batch_size=batch_size)
+        return self._graphs[key]
+
+    # --------------------------------------------------------------- schedules
+    def ios_result(
+        self,
+        graph: Graph,
+        variant: str = "ios-both",
+        pruning: PruningStrategy | None = None,
+        device: DeviceSpec | None = None,
+    ) -> tuple[ScheduleResult, float, float, int]:
+        """IOS search result for a graph, cached within this context.
+
+        Returns ``(result, elapsed_s, profiling_gpu_ms, num_measurements)``.
+        """
+        device = device or self.device
+        pruning = pruning or self.pruning
+        key = (graph.name, graph.batch_size, device.name, variant, pruning)
+        if key not in self._ios_results:
+            cost_model = SimulatedCostModel(device, self.profile)
+            config = SchedulerConfig.variant(variant, pruning=pruning)
+            scheduler = IOSScheduler(cost_model, config)
+            result = scheduler.optimize_graph(graph)
+            self._ios_results[key] = (
+                result,
+                result.elapsed_s,
+                cost_model.profiler.total_profiling_ms,
+                cost_model.num_measurements,
+            )
+        return self._ios_results[key]
+
+    def schedule(self, graph: Graph, label: str, device: DeviceSpec | None = None,
+                 pruning: PruningStrategy | None = None) -> tuple[Schedule, float, float, int]:
+        """Build the named schedule; returns (schedule, search_s, gpu_ms, measurements)."""
+        if label == "sequential":
+            return sequential_schedule(graph), 0.0, 0.0, 0
+        if label == "greedy":
+            return greedy_schedule(graph), 0.0, 0.0, 0
+        if label in ("ios-merge", "ios-parallel", "ios-both"):
+            result, elapsed, gpu_ms, measurements = self.ios_result(
+                graph, variant=label, pruning=pruning, device=device
+            )
+            return result.schedule, elapsed, gpu_ms, measurements
+        raise KeyError(f"unknown schedule label {label!r}; expected one of {SCHEDULE_LABELS}")
+
+    def run_schedule(
+        self,
+        graph: Graph,
+        label: str,
+        device: DeviceSpec | None = None,
+        pruning: PruningStrategy | None = None,
+    ) -> ScheduleRun:
+        """Build and execute one schedule on the context's device."""
+        device = device or self.device
+        schedule, elapsed, gpu_ms, measurements = self.schedule(graph, label, device, pruning)
+        result = measure_schedule(graph, schedule, device, self.profile)
+        return ScheduleRun(
+            label=label,
+            schedule=schedule,
+            latency_ms=result.latency_ms,
+            throughput=result.throughput(),
+            optimization_s=elapsed,
+            optimization_gpu_ms=gpu_ms,
+            num_measurements=measurements,
+        )
+
+    def compare_schedules(
+        self,
+        model: str,
+        labels: Sequence[str] = tuple(SCHEDULE_LABELS),
+        batch_size: int = 1,
+        device: DeviceSpec | None = None,
+    ) -> dict[str, ScheduleRun]:
+        """Run every requested schedule of one model and return them by label."""
+        graph = self.graph(model, batch_size)
+        return {label: self.run_schedule(graph, label, device) for label in labels}
+
+
+def default_context(device: str | DeviceSpec = "v100",
+                    pruning: PruningStrategy | None = None) -> ExperimentContext:
+    """Create an :class:`ExperimentContext` for the named device preset."""
+    spec = device if isinstance(device, DeviceSpec) else get_device(device)
+    return ExperimentContext(device=spec, pruning=pruning or PruningStrategy(3, 8))

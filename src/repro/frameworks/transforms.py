@@ -1,0 +1,131 @@
+"""Graph transformations used by the simulated frameworks.
+
+Two rewrites cover what the paper's baselines do to a CNN graph before
+sequential execution:
+
+* **same-input merge** (TASO / MetaFlow style): convolutions of the same type
+  that consume exactly the same input are merged into one larger convolution —
+  the "operator merge" of Section 3, discovered automatically by TASO's
+  substitution rules.  Only operators of the same type can be merged, which is
+  the limitation of TASO/MetaFlow that IOS lifts with concurrent execution of
+  *different* operator types.
+* **elementwise fusion** (XLA / TensorRT style): stand-alone ReLU/Add operators
+  following a convolution are folded into the producer kernel, saving a kernel
+  launch and a round-trip of the activation through DRAM.  (Our IR already
+  represents Conv-ReLU as one unit, so this mainly affects explicit ``Relu`` /
+  ``Add`` nodes such as ResNet's residual additions.)
+
+Transforms operate on execution plans (lists of operator stages), never on the
+original :class:`~repro.ir.graph.Graph`, so framework models stay side-effect
+free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..ir.graph import Graph
+from ..ir.ops import Add, Conv2d, Relu
+from ..runtime.executor import ExecutionPlan, ExecutionStage
+from ..core.merge import build_merged_operator, can_merge
+
+__all__ = ["find_same_input_merge_sets", "sequential_plan_with_merges",
+           "count_fusable_elementwise", "apply_elementwise_fusion_discount"]
+
+
+def find_same_input_merge_sets(graph: Graph) -> list[list[str]]:
+    """Find maximal sets of same-type, same-input, mergeable convolutions.
+
+    Returns a list of operator-name groups (each of size >= 2) that
+    :func:`repro.core.merge.build_merged_operator` accepts.
+    """
+    candidates: dict[tuple, list[str]] = defaultdict(list)
+    for op in graph.operators():
+        if not isinstance(op, Conv2d):
+            continue
+        key = op.merge_key()
+        if key is None:
+            continue
+        candidates[(op.inputs, key)].append(op.name)
+    merge_sets = []
+    for names in candidates.values():
+        if len(names) < 2:
+            continue
+        if can_merge(graph, names):
+            merge_sets.append(sorted(names))
+    return sorted(merge_sets)
+
+
+def sequential_plan_with_merges(graph: Graph, framework_name: str) -> ExecutionPlan:
+    """Sequential execution plan in which mergeable convolution sets are fused.
+
+    Merged operators replace their sources at the position of the earliest
+    source in the topological order; every other operator keeps its own stage.
+    """
+    merge_sets = find_same_input_merge_sets(graph)
+    member_of: dict[str, int] = {}
+    for index, names in enumerate(merge_sets):
+        for name in names:
+            member_of[name] = index
+    emitted: set[int] = set()
+
+    plan = ExecutionPlan(name=f"{graph.name}:{framework_name}", batch_size=graph.batch_size)
+    for op_name in graph.topological_order():
+        op = graph.nodes[op_name]
+        if op.kind == "placeholder":
+            continue
+        merge_index = member_of.get(op_name)
+        if merge_index is None:
+            plan.stages.append(
+                ExecutionStage(groups=[[op]], strategy="sequential", label=op_name)
+            )
+            continue
+        if merge_index in emitted:
+            continue
+        emitted.add(merge_index)
+        merged = build_merged_operator(graph, merge_sets[merge_index])
+        plan.stages.append(
+            ExecutionStage(
+                groups=[[merged.merged]],
+                strategy="operator merge",
+                label=merged.merged.name,
+            )
+        )
+    return plan
+
+
+def count_fusable_elementwise(graph: Graph) -> int:
+    """Number of stand-alone elementwise operators that a fusing compiler removes.
+
+    A ``Relu`` or ``Add`` whose (first) producer is a convolution can be folded
+    into that convolution's epilogue.
+    """
+    count = 0
+    for op in graph.operators():
+        if isinstance(op, (Relu, Add)):
+            producer = graph.nodes[op.inputs[0]]
+            if isinstance(producer, Conv2d):
+                count += 1
+    return count
+
+
+def apply_elementwise_fusion_discount(plan: ExecutionPlan, graph: Graph) -> ExecutionPlan:
+    """Drop stand-alone fusable elementwise stages from a sequential plan.
+
+    This models XLA/TensorRT pointwise fusion: the arithmetic of the fused
+    operator is negligible next to the convolution it joins, but the saved
+    kernel launch and activation round-trip are not.
+    """
+    fusable: set[str] = set()
+    for op in graph.operators():
+        if isinstance(op, (Relu, Add)) and isinstance(graph.nodes[op.inputs[0]], Conv2d):
+            fusable.add(op.name)
+    if not fusable:
+        return plan
+    kept = [
+        stage
+        for stage in plan.stages
+        if not (len(stage.groups) == 1 and len(stage.groups[0]) == 1
+                and stage.groups[0][0].name in fusable)
+    ]
+    return ExecutionPlan(name=plan.name, stages=kept, batch_size=plan.batch_size)

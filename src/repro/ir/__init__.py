@@ -1,0 +1,80 @@
+"""Computation-graph intermediate representation (IR).
+
+The IR is the substrate that both the IOS scheduler (``repro.core``) and the
+simulated execution engine (``repro.runtime``) operate on.  It models CNNs as
+block-structured DAGs of shape-annotated operators; no tensor data is ever
+stored because scheduling decisions depend only on shapes.
+"""
+
+from .tensor import FLOAT32_BYTES, TensorShape
+from .ops import (
+    Add,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Linear,
+    Matmul,
+    Operator,
+    Placeholder,
+    Pool2d,
+    Relu,
+    SeparableConv2d,
+    Softmax,
+    Split,
+    operator_from_config,
+)
+from .graph import Block, Graph, GraphBuilder
+from .validate import GraphValidationError, validate_graph
+from .flops import (
+    ConvStatistics,
+    OperatorCost,
+    arithmetic_intensity,
+    block_flops,
+    conv_statistics,
+    graph_cost_breakdown,
+    operator_cost,
+)
+from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .visualize import block_summary_table, graph_to_dot, graph_to_text
+
+__all__ = [
+    "FLOAT32_BYTES",
+    "TensorShape",
+    "Operator",
+    "Placeholder",
+    "Conv2d",
+    "SeparableConv2d",
+    "Pool2d",
+    "GlobalAvgPool",
+    "Relu",
+    "Identity",
+    "Add",
+    "Concat",
+    "Split",
+    "Flatten",
+    "Linear",
+    "Matmul",
+    "Softmax",
+    "operator_from_config",
+    "Block",
+    "Graph",
+    "GraphBuilder",
+    "GraphValidationError",
+    "validate_graph",
+    "OperatorCost",
+    "ConvStatistics",
+    "operator_cost",
+    "graph_cost_breakdown",
+    "block_flops",
+    "conv_statistics",
+    "arithmetic_intensity",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "graph_to_text",
+    "graph_to_dot",
+    "block_summary_table",
+]

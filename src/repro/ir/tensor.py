@@ -1,0 +1,179 @@
+"""Tensor shape abstractions for the computation-graph IR.
+
+IOS never inspects tensor *values*: the scheduler only needs shapes to compute
+FLOPs, memory traffic and kernel launch geometry.  This module therefore only
+models shapes (and dtype sizes), not data.
+
+Shapes follow the NCHW convention used throughout the paper:
+
+* 4-D feature maps: ``(batch, channels, height, width)``
+* 2-D matrices (for ``Matmul`` / fully-connected layers): ``(batch, features)``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["TensorShape", "FLOAT32_BYTES", "conv2d_output_hw", "pool2d_output_hw"]
+
+#: Size in bytes of a single-precision float. All experiments in the paper use FP32.
+FLOAT32_BYTES = 4
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """An immutable tensor shape.
+
+    ``height`` and ``width`` are ``None`` for 2-D (matrix) tensors.  Shapes are
+    hashable so they can be used as cache keys by the cost model.
+    """
+
+    batch: int
+    channels: int
+    height: int | None = None
+    width: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError(f"batch must be positive, got {self.batch}")
+        if self.channels <= 0:
+            raise ValueError(f"channels must be positive, got {self.channels}")
+        if (self.height is None) != (self.width is None):
+            raise ValueError(
+                "height and width must both be set (4-D) or both be None (2-D); "
+                f"got height={self.height}, width={self.width}"
+            )
+        if self.height is not None and (self.height <= 0 or self.width <= 0):
+            raise ValueError(
+                f"spatial dims must be positive, got {self.height}x{self.width}"
+            )
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def is_spatial(self) -> bool:
+        """Whether this is a 4-D NCHW feature map."""
+        return self.height is not None
+
+    @property
+    def rank(self) -> int:
+        return 4 if self.is_spatial else 2
+
+    def dims(self) -> tuple[int, ...]:
+        """Return the shape as a plain tuple (NCHW or NC)."""
+        if self.is_spatial:
+            return (self.batch, self.channels, self.height, self.width)
+        return (self.batch, self.channels)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.dims())
+
+    def numel(self) -> int:
+        """Total number of elements."""
+        return math.prod(self.dims())
+
+    def bytes(self, dtype_bytes: int = FLOAT32_BYTES) -> int:
+        """Total size in bytes assuming a dense layout."""
+        return self.numel() * dtype_bytes
+
+    # -------------------------------------------------------------- transforms
+    def with_batch(self, batch: int) -> "TensorShape":
+        """Return the same shape with a different batch size."""
+        return TensorShape(batch, self.channels, self.height, self.width)
+
+    def with_channels(self, channels: int) -> "TensorShape":
+        """Return the same shape with a different channel count."""
+        return TensorShape(self.batch, channels, self.height, self.width)
+
+    def with_spatial(self, height: int, width: int) -> "TensorShape":
+        """Return the same shape with different spatial dimensions."""
+        return TensorShape(self.batch, self.channels, height, width)
+
+    def flattened(self) -> "TensorShape":
+        """Collapse channels/height/width into a single feature dimension."""
+        if not self.is_spatial:
+            return self
+        return TensorShape(self.batch, self.channels * self.height * self.width)
+
+    # ------------------------------------------------------------------ pretty
+    def __str__(self) -> str:
+        if self.is_spatial:
+            return f"{self.batch}x{self.channels}x{self.height}x{self.width}"
+        return f"{self.batch}x{self.channels}"
+
+    @classmethod
+    def parse(cls, text: str) -> "TensorShape":
+        """Parse a shape from its ``str()`` form, e.g. ``"1x64x56x56"``."""
+        parts = [int(p) for p in text.lower().split("x")]
+        if len(parts) == 4:
+            return cls(*parts)
+        if len(parts) == 2:
+            return cls(parts[0], parts[1])
+        raise ValueError(f"cannot parse tensor shape from {text!r}")
+
+    @classmethod
+    def concat_channels(cls, shapes: Sequence["TensorShape"]) -> "TensorShape":
+        """Shape of concatenating ``shapes`` along the channel axis.
+
+        All shapes must agree on every non-channel dimension.
+        """
+        if not shapes:
+            raise ValueError("cannot concatenate an empty list of shapes")
+        first = shapes[0]
+        for s in shapes[1:]:
+            if s.batch != first.batch:
+                raise ValueError(f"batch mismatch in concat: {s} vs {first}")
+            if s.is_spatial != first.is_spatial:
+                raise ValueError(f"rank mismatch in concat: {s} vs {first}")
+            if s.is_spatial and (s.height, s.width) != (first.height, first.width):
+                raise ValueError(f"spatial mismatch in concat: {s} vs {first}")
+        channels = sum(s.channels for s in shapes)
+        return first.with_channels(channels)
+
+
+def conv2d_output_hw(
+    in_h: int,
+    in_w: int,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> tuple[int, int]:
+    """Output spatial size of a convolution (floor semantics, as in cuDNN)."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (in_h + 2 * ph - kh) // sh + 1
+    out_w = (in_w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution produces empty output: input {in_h}x{in_w}, "
+            f"kernel {kh}x{kw}, stride {sh}x{sw}, padding {ph}x{pw}"
+        )
+    return out_h, out_w
+
+
+def pool2d_output_hw(
+    in_h: int,
+    in_w: int,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    ceil_mode: bool = False,
+) -> tuple[int, int]:
+    """Output spatial size of a pooling operator."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ceil_mode:
+        out_h = -(-(in_h + 2 * ph - kh) // sh) + 1
+        out_w = -(-(in_w + 2 * pw - kw) // sw) + 1
+    else:
+        out_h = (in_h + 2 * ph - kh) // sh + 1
+        out_w = (in_w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"pooling produces empty output: input {in_h}x{in_w}, "
+            f"kernel {kh}x{kw}, stride {sh}x{sw}, padding {ph}x{pw}"
+        )
+    return out_h, out_w

@@ -1,0 +1,94 @@
+"""Structural validation of computation graphs.
+
+``validate_graph`` is called by :meth:`GraphBuilder.build` and by the graph
+deserialiser; scheduling and execution assume a graph that passed validation.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .ops import Placeholder
+
+__all__ = ["GraphValidationError", "validate_graph"]
+
+
+class GraphValidationError(ValueError):
+    """Raised when a computation graph violates a structural invariant."""
+
+
+def validate_graph(graph: Graph) -> None:
+    """Check the structural invariants required by the scheduler and runtime.
+
+    Invariants checked:
+
+    1. the graph has exactly one placeholder (network input);
+    2. the graph is acyclic (a topological order exists);
+    3. every non-placeholder operator has at least one input and all inputs
+       refer to existing nodes;
+    4. every operator has bound shapes;
+    5. every non-placeholder operator belongs to exactly one block;
+    6. blocks are *sequentially consistent*: every edge either stays inside a
+       block or goes from an earlier block to a later one, so that executing
+       blocks in order respects all dependencies.
+
+    Raises
+    ------
+    GraphValidationError
+        If any invariant is violated.
+    """
+    placeholders = graph.placeholders
+    if len(placeholders) != 1:
+        raise GraphValidationError(
+            f"graph {graph.name!r} must have exactly one input placeholder, "
+            f"found {len(placeholders)}"
+        )
+
+    # Acyclicity (topological_order raises on cycles).
+    try:
+        graph.topological_order()
+    except ValueError as exc:
+        raise GraphValidationError(str(exc)) from exc
+
+    # Inputs exist and shapes are bound.
+    for name, op in graph.nodes.items():
+        if isinstance(op, Placeholder):
+            continue
+        if not op.inputs:
+            raise GraphValidationError(f"operator {name!r} has no inputs")
+        for parent in op.inputs:
+            if parent not in graph.nodes:
+                raise GraphValidationError(f"operator {name!r} references unknown input {parent!r}")
+        if op.output_shape is None:
+            raise GraphValidationError(f"operator {name!r} has no bound output shape")
+
+    # Block membership.
+    membership: dict[str, int] = {}
+    for idx, block in enumerate(graph.blocks):
+        for node_name in block.node_names:
+            if node_name not in graph.nodes:
+                raise GraphValidationError(
+                    f"block {block.name!r} references unknown node {node_name!r}"
+                )
+            if node_name in membership:
+                other = graph.blocks[membership[node_name]].name
+                raise GraphValidationError(
+                    f"node {node_name!r} belongs to both block {other!r} and {block.name!r}"
+                )
+            membership[node_name] = idx
+    for name, op in graph.nodes.items():
+        if isinstance(op, Placeholder):
+            continue
+        if name not in membership:
+            raise GraphValidationError(f"operator {name!r} does not belong to any block")
+
+    # Block sequential consistency.
+    for producer, consumer in graph.edges():
+        if isinstance(graph.nodes[producer], Placeholder):
+            continue
+        p_idx = membership[producer]
+        c_idx = membership[consumer]
+        if c_idx < p_idx:
+            raise GraphValidationError(
+                f"edge {producer!r} -> {consumer!r} goes backwards across blocks "
+                f"({graph.blocks[p_idx].name!r} -> {graph.blocks[c_idx].name!r})"
+            )

@@ -1,0 +1,73 @@
+"""Text and Graphviz rendering of computation graphs.
+
+These renderers have no third-party dependencies: ``graph_to_text`` prints a
+topologically ordered listing (one line per operator with shape and FLOPs) and
+``graph_to_dot`` emits Graphviz DOT source that can be rendered offline.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .ops import Placeholder
+
+__all__ = ["graph_to_text", "graph_to_dot", "block_summary_table"]
+
+
+def graph_to_text(graph: Graph, max_nodes: int | None = None) -> str:
+    """Human-readable, topologically ordered listing of a graph."""
+    lines = [f"Graph {graph.name!r} (input {graph.input_shape}, {len(graph.operators())} operators)"]
+    order = graph.topological_order()
+    shown = order if max_nodes is None else order[:max_nodes]
+    block_of = {name: block.name for block in graph.blocks for name in block.node_names}
+    for name in shown:
+        op = graph.nodes[name]
+        if isinstance(op, Placeholder):
+            lines.append(f"  [input   ] {name:<28} -> {op.output_shape}")
+            continue
+        inputs = ", ".join(op.inputs)
+        block = block_of.get(name, "-")
+        flops = op.flops()
+        lines.append(
+            f"  [{op.kind:<8}] {name:<28} ({inputs}) -> {op.output_shape}  "
+            f"block={block} flops={flops:,}"
+        )
+    if max_nodes is not None and len(order) > max_nodes:
+        lines.append(f"  ... ({len(order) - max_nodes} more operators)")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: Graph, cluster_blocks: bool = True) -> str:
+    """Render a graph as Graphviz DOT source.
+
+    Blocks become clusters so the block structure used by the scheduler is
+    visible in the rendering.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;", '  node [shape=box, fontsize=10];']
+    if cluster_blocks:
+        for idx, block in enumerate(graph.blocks):
+            lines.append(f'  subgraph "cluster_{idx}" {{')
+            lines.append(f'    label="{block.name}";')
+            for name in block.node_names:
+                op = graph.nodes[name]
+                lines.append(f'    "{name}" [label="{name}\\n{op.kind}\\n{op.output_shape}"];')
+            lines.append("  }")
+        for op in graph.placeholders:
+            lines.append(f'  "{op.name}" [label="{op.name}\\ninput\\n{op.output_shape}", shape=ellipse];')
+    else:
+        for name, op in graph.nodes.items():
+            shape = "ellipse" if isinstance(op, Placeholder) else "box"
+            lines.append(f'  "{name}" [label="{name}\\n{op.kind}", shape={shape}];')
+    for producer, consumer in graph.edges():
+        lines.append(f'  "{producer}" -> "{consumer}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def block_summary_table(graph: Graph) -> str:
+    """One-line-per-block summary: operator count, FLOPs, output shapes."""
+    lines = [f"{'block':<24} {'#ops':>6} {'GFLOPs':>10}"]
+    for block in graph.blocks:
+        names = graph.schedulable_names(block)
+        flops = sum(graph.nodes[n].flops() for n in names)
+        lines.append(f"{block.name:<24} {len(names):>6} {flops / 1e9:>10.3f}")
+    return "\n".join(lines)

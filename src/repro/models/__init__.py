@@ -1,0 +1,57 @@
+"""CNN model zoo.
+
+Importing this package registers every model with the registry in
+``repro.models.common`` so that :func:`build_model` can instantiate any of them
+by name.  The four networks benchmarked by the paper (Table 2) are Inception
+V3, RandWire, NasNet-A and SqueezeNet (``BENCHMARK_MODELS``).
+"""
+
+from .common import (
+    BENCHMARK_MODELS,
+    MODEL_REGISTRY,
+    ModelSpec,
+    build_model,
+    list_models,
+    model_specs,
+    register_model,
+)
+from .toy import (
+    chain_graph,
+    diamond_graph,
+    figure2_block,
+    figure3_graph,
+    figure5_graph,
+    parallel_chains_graph,
+)
+from .inception_v3 import INCEPTION_BLOCK_NAMES, inception_v3
+from .squeezenet import squeezenet
+from .randwire import randwire
+from .nasnet import nasnet_a
+from .resnet import resnet_18, resnet_34, resnet_50
+from .vgg import alexnet, vgg_16
+
+__all__ = [
+    "BENCHMARK_MODELS",
+    "MODEL_REGISTRY",
+    "ModelSpec",
+    "build_model",
+    "list_models",
+    "model_specs",
+    "register_model",
+    "figure2_block",
+    "figure3_graph",
+    "figure5_graph",
+    "chain_graph",
+    "diamond_graph",
+    "parallel_chains_graph",
+    "inception_v3",
+    "INCEPTION_BLOCK_NAMES",
+    "squeezenet",
+    "randwire",
+    "nasnet_a",
+    "resnet_18",
+    "resnet_34",
+    "resnet_50",
+    "vgg_16",
+    "alexnet",
+]

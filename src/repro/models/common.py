@@ -1,0 +1,83 @@
+"""Model registry and shared helpers for the CNN model zoo.
+
+Every model is exposed as a builder function ``builder(batch_size, **kwargs)``
+returning a validated :class:`~repro.ir.graph.Graph`.  Builders are registered
+by name so experiments and the CLI can instantiate networks uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..ir.graph import Graph
+
+__all__ = [
+    "ModelBuilder",
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "register_model",
+    "build_model",
+    "list_models",
+    "BENCHMARK_MODELS",
+]
+
+ModelBuilder = Callable[..., Graph]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Registry entry describing one model family."""
+
+    name: str
+    builder: ModelBuilder
+    description: str
+    default_image_size: int
+    paper_blocks: int | None = None
+    paper_operators: int | None = None
+    operator_type: str = ""
+
+
+MODEL_REGISTRY: dict[str, ModelSpec] = {}
+
+#: The four CNNs benchmarked throughout the paper's evaluation (Table 2).
+BENCHMARK_MODELS = ["inception_v3", "randwire", "nasnet_a", "squeezenet"]
+
+
+def register_model(spec: ModelSpec) -> ModelSpec:
+    """Register a model spec; raises on duplicate names."""
+    if spec.name in MODEL_REGISTRY:
+        raise ValueError(f"model {spec.name!r} is already registered")
+    MODEL_REGISTRY[spec.name] = spec
+    return spec
+
+
+def build_model(name: str, batch_size: int = 1, **kwargs) -> Graph:
+    """Instantiate a registered model at the given batch size."""
+    key = name.lower().replace("-", "_").replace(" ", "_")
+    aliases = {
+        "inceptionv3": "inception_v3",
+        "inception": "inception_v3",
+        "nasnet": "nasnet_a",
+        "nasneta": "nasnet_a",
+        "randwire_small": "randwire",
+        "resnet50": "resnet_50",
+        "resnet34": "resnet_34",
+        "resnet18": "resnet_18",
+        "vgg16": "vgg_16",
+    }
+    key = aliases.get(key, key)
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key].builder(batch_size=batch_size, **kwargs)
+
+
+def list_models() -> list[str]:
+    """Names of all registered models."""
+    return sorted(MODEL_REGISTRY)
+
+
+def model_specs(names: Iterable[str] | None = None) -> list[ModelSpec]:
+    """Specs for the requested models (default: the four benchmark CNNs)."""
+    selected = list(names) if names is not None else BENCHMARK_MODELS
+    return [MODEL_REGISTRY[n] for n in selected]

@@ -1,0 +1,201 @@
+"""Inception V3 (Szegedy et al., 2016).
+
+Inception V3 is the paper's primary case-study network (Figures 9-11, 16 and
+Table 3).  The architecture below follows the standard torchvision structure:
+a convolutional stem, three Inception-A modules at 35x35, a grid-reduction
+module, four Inception-B modules at 17x17, a second grid-reduction module and
+two Inception-C modules at 8x8, followed by global pooling and a classifier.
+
+Each of the 11 Inception modules is one *block* for the scheduler (matching
+"#Blocks = 11" in Table 2); the stem and classifier live in two extra blocks
+that offer no inter-operator parallelism.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.tensor import TensorShape
+from .common import ModelSpec, register_model
+
+__all__ = ["inception_v3", "inception_a", "inception_b", "inception_c",
+           "reduction_a", "reduction_b"]
+
+
+def inception_a(builder: GraphBuilder, x: str, name: str, pool_channels: int) -> str:
+    """Inception-A module (35x35 grid): 1x1, 5x5, double-3x3 and pool branches."""
+    with builder.block(name):
+        b1 = builder.conv2d(f"{name}_b1_1x1", x, out_channels=64, kernel=1)
+
+        b5 = builder.conv2d(f"{name}_b5_1x1", x, out_channels=48, kernel=1)
+        b5 = builder.conv2d(f"{name}_b5_5x5", b5, out_channels=64, kernel=5)
+
+        b3 = builder.conv2d(f"{name}_b3_1x1", x, out_channels=64, kernel=1)
+        b3 = builder.conv2d(f"{name}_b3_3x3a", b3, out_channels=96, kernel=3)
+        b3 = builder.conv2d(f"{name}_b3_3x3b", b3, out_channels=96, kernel=3)
+
+        bp = builder.avg_pool(f"{name}_pool", x, kernel=3, stride=1, padding=1)
+        bp = builder.conv2d(f"{name}_pool_1x1", bp, out_channels=pool_channels, kernel=1)
+
+        return builder.concat(f"{name}_concat", [b1, b5, b3, bp])
+
+
+def reduction_a(builder: GraphBuilder, x: str, name: str) -> str:
+    """Grid-reduction module from 35x35 to 17x17."""
+    with builder.block(name):
+        b3 = builder.conv2d(f"{name}_b3_3x3", x, out_channels=384, kernel=3, stride=2, padding=0)
+
+        bd = builder.conv2d(f"{name}_bd_1x1", x, out_channels=64, kernel=1)
+        bd = builder.conv2d(f"{name}_bd_3x3a", bd, out_channels=96, kernel=3)
+        bd = builder.conv2d(f"{name}_bd_3x3b", bd, out_channels=96, kernel=3, stride=2, padding=0)
+
+        bp = builder.max_pool(f"{name}_pool", x, kernel=3, stride=2, padding=0)
+
+        return builder.concat(f"{name}_concat", [b3, bd, bp])
+
+
+def inception_b(builder: GraphBuilder, x: str, name: str, c7: int) -> str:
+    """Inception-B module (17x17 grid) with factorised 7x7 convolutions."""
+    with builder.block(name):
+        b1 = builder.conv2d(f"{name}_b1_1x1", x, out_channels=192, kernel=1)
+
+        b7 = builder.conv2d(f"{name}_b7_1x1", x, out_channels=c7, kernel=1)
+        b7 = builder.conv2d(f"{name}_b7_1x7", b7, out_channels=c7, kernel=(1, 7))
+        b7 = builder.conv2d(f"{name}_b7_7x1", b7, out_channels=192, kernel=(7, 1))
+
+        bd = builder.conv2d(f"{name}_bd_1x1", x, out_channels=c7, kernel=1)
+        bd = builder.conv2d(f"{name}_bd_7x1a", bd, out_channels=c7, kernel=(7, 1))
+        bd = builder.conv2d(f"{name}_bd_1x7a", bd, out_channels=c7, kernel=(1, 7))
+        bd = builder.conv2d(f"{name}_bd_7x1b", bd, out_channels=c7, kernel=(7, 1))
+        bd = builder.conv2d(f"{name}_bd_1x7b", bd, out_channels=192, kernel=(1, 7))
+
+        bp = builder.avg_pool(f"{name}_pool", x, kernel=3, stride=1, padding=1)
+        bp = builder.conv2d(f"{name}_pool_1x1", bp, out_channels=192, kernel=1)
+
+        return builder.concat(f"{name}_concat", [b1, b7, bd, bp])
+
+
+def reduction_b(builder: GraphBuilder, x: str, name: str) -> str:
+    """Grid-reduction module from 17x17 to 8x8."""
+    with builder.block(name):
+        b3 = builder.conv2d(f"{name}_b3_1x1", x, out_channels=192, kernel=1)
+        b3 = builder.conv2d(f"{name}_b3_3x3", b3, out_channels=320, kernel=3, stride=2, padding=0)
+
+        b7 = builder.conv2d(f"{name}_b7_1x1", x, out_channels=192, kernel=1)
+        b7 = builder.conv2d(f"{name}_b7_1x7", b7, out_channels=192, kernel=(1, 7))
+        b7 = builder.conv2d(f"{name}_b7_7x1", b7, out_channels=192, kernel=(7, 1))
+        b7 = builder.conv2d(f"{name}_b7_3x3", b7, out_channels=192, kernel=3, stride=2, padding=0)
+
+        bp = builder.max_pool(f"{name}_pool", x, kernel=3, stride=2, padding=0)
+
+        return builder.concat(f"{name}_concat", [b3, b7, bp])
+
+
+def inception_c(builder: GraphBuilder, x: str, name: str) -> str:
+    """Inception-C module (8x8 grid).
+
+    This is the block shown in Figure 10 of the paper: the 3x3 branch forks
+    into parallel 1x3 / 3x1 convolutions, as does the double-3x3 branch, and
+    the 1x3 / 3x1 pairs share an input which makes them candidates for the
+    "operator merge" strategy.
+    """
+    with builder.block(name):
+        b1 = builder.conv2d(f"{name}_b1_1x1", x, out_channels=320, kernel=1)
+
+        b3 = builder.conv2d(f"{name}_b3_1x1", x, out_channels=384, kernel=1)
+        b3a = builder.conv2d(f"{name}_b3_1x3", b3, out_channels=384, kernel=(1, 3))
+        b3b = builder.conv2d(f"{name}_b3_3x1", b3, out_channels=384, kernel=(3, 1))
+
+        bd = builder.conv2d(f"{name}_bd_1x1", x, out_channels=448, kernel=1)
+        bd = builder.conv2d(f"{name}_bd_3x3", bd, out_channels=384, kernel=3)
+        bda = builder.conv2d(f"{name}_bd_1x3", bd, out_channels=384, kernel=(1, 3))
+        bdb = builder.conv2d(f"{name}_bd_3x1", bd, out_channels=384, kernel=(3, 1))
+
+        bp = builder.avg_pool(f"{name}_pool", x, kernel=3, stride=1, padding=1)
+        bp = builder.conv2d(f"{name}_pool_1x1", bp, out_channels=192, kernel=1)
+
+        return builder.concat(f"{name}_concat", [b1, b3a, b3b, bda, bdb, bp])
+
+
+def inception_v3(
+    batch_size: int = 1,
+    image_size: int = 299,
+    num_classes: int = 1000,
+    include_stem: bool = True,
+    include_head: bool = True,
+) -> Graph:
+    """Build the Inception V3 computation graph.
+
+    Parameters
+    ----------
+    batch_size, image_size, num_classes:
+        Standard network hyper-parameters (the paper uses 299x299 inputs).
+    include_stem, include_head:
+        Allow experiments that only study the 11 Inception modules (e.g. the
+        block-wise speedups of Figure 16) to drop the single-branch stem and
+        classifier.
+    """
+    builder = GraphBuilder("inception_v3", TensorShape(batch_size, 3, image_size, image_size))
+    x = builder.input_name
+
+    if include_stem:
+        with builder.block("stem"):
+            x = builder.conv2d("stem_conv1", x, out_channels=32, kernel=3, stride=2, padding=0)
+            x = builder.conv2d("stem_conv2", x, out_channels=32, kernel=3, padding=0)
+            x = builder.conv2d("stem_conv3", x, out_channels=64, kernel=3, padding=1)
+            x = builder.max_pool("stem_pool1", x, kernel=3, stride=2, padding=0)
+            x = builder.conv2d("stem_conv4", x, out_channels=80, kernel=1)
+            x = builder.conv2d("stem_conv5", x, out_channels=192, kernel=3, padding=0)
+            x = builder.max_pool("stem_pool2", x, kernel=3, stride=2, padding=0)
+    else:
+        with builder.block("stem"):
+            x = builder.conv2d("stem_proj", x, out_channels=192, kernel=3, stride=8, padding=1)
+
+    # 11 Inception modules == the 11 blocks of Table 2 / Figure 16.
+    x = inception_a(builder, x, "mixed_5b", pool_channels=32)
+    x = inception_a(builder, x, "mixed_5c", pool_channels=64)
+    x = inception_a(builder, x, "mixed_5d", pool_channels=64)
+    x = reduction_a(builder, x, "mixed_6a")
+    x = inception_b(builder, x, "mixed_6b", c7=128)
+    x = inception_b(builder, x, "mixed_6c", c7=160)
+    x = inception_b(builder, x, "mixed_6d", c7=160)
+    x = inception_b(builder, x, "mixed_6e", c7=192)
+    x = reduction_b(builder, x, "mixed_7a")
+    x = inception_c(builder, x, "mixed_7b")
+    x = inception_c(builder, x, "mixed_7c")
+
+    if include_head:
+        with builder.block("head"):
+            x = builder.global_avg_pool("head_pool", x)
+            x = builder.flatten("head_flatten", x)
+            builder.linear("head_fc", x, out_features=num_classes)
+
+    return builder.build()
+
+
+#: Names of the 11 Inception modules, in execution order (used by Figure 16).
+INCEPTION_BLOCK_NAMES = [
+    "mixed_5b",
+    "mixed_5c",
+    "mixed_5d",
+    "mixed_6a",
+    "mixed_6b",
+    "mixed_6c",
+    "mixed_6d",
+    "mixed_6e",
+    "mixed_7a",
+    "mixed_7b",
+    "mixed_7c",
+]
+
+
+register_model(
+    ModelSpec(
+        name="inception_v3",
+        builder=inception_v3,
+        description="Inception V3 (Szegedy et al. 2016), 11 multi-branch modules",
+        default_image_size=299,
+        paper_blocks=11,
+        paper_operators=119,
+        operator_type="Conv-Relu",
+    )
+)

@@ -1,0 +1,184 @@
+"""NasNet-A (Zoph et al., 2018).
+
+NasNet-A stacks two searched cell types — *normal cells* (stride 1) and
+*reduction cells* (stride 2).  Each cell combines five pairs of operations
+(separable convolutions, poolings and identities) applied to the cell's two
+inputs (the outputs of the two previous cells), sums each pair, and
+concatenates the results.  All separable convolutions are "Relu-SepConv"
+schedule units (Table 2), which cannot be merged, so IOS only uses the
+"concurrent execution" strategy on this network — the reason IOS-Merge
+degenerates to the sequential schedule in Figure 6.
+
+The cell layout below follows the published NasNet-A cell; the network has 13
+cells (the paper's "#Blocks = 13"): four normal cells, a reduction cell, four
+normal cells, a reduction cell and three normal cells.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.tensor import TensorShape
+from .common import ModelSpec, register_model
+
+__all__ = ["nasnet_a", "normal_cell", "reduction_cell"]
+
+
+def _fit(builder: GraphBuilder, x: str, name: str, channels: int, stride: int = 1) -> str:
+    """1x1 convolution adjusting channel count (and optionally stride)."""
+    return builder.conv2d(name, x, out_channels=channels, kernel=1, stride=stride)
+
+
+def normal_cell(
+    builder: GraphBuilder,
+    h: str,
+    h_prev: str,
+    name: str,
+    channels: int,
+) -> str:
+    """NasNet-A normal cell (stride 1).
+
+    ``h`` is the previous cell's output, ``h_prev`` the one before it.  The
+    five combinations below mirror the searched NasNet-A cell: each pairs two
+    of {separable conv 3x3/5x5, average pool, identity} and adds them.
+    """
+    with builder.block(name):
+        x = _fit(builder, h, f"{name}_fit_h", channels)
+        x_prev = _fit(builder, h_prev, f"{name}_fit_hprev", channels)
+
+        # Combination 1: sep3x3(h) + identity(h)
+        c1a = builder.sep_conv2d(f"{name}_c1_sep3x3", x, out_channels=channels, kernel=3)
+        c1 = builder.add(f"{name}_c1_add", [c1a, x])
+
+        # Combination 2: sep3x3(h') + sep5x5(h)
+        c2a = builder.sep_conv2d(f"{name}_c2_sep3x3", x_prev, out_channels=channels, kernel=3)
+        c2b = builder.sep_conv2d(f"{name}_c2_sep5x5", x, out_channels=channels, kernel=5)
+        c2 = builder.add(f"{name}_c2_add", [c2a, c2b])
+
+        # Combination 3: avgpool3x3(h) + identity(h')
+        c3a = builder.avg_pool(f"{name}_c3_pool", x, kernel=3, stride=1, padding=1)
+        c3 = builder.add(f"{name}_c3_add", [c3a, x_prev])
+
+        # Combination 4: avgpool3x3(h') + avgpool3x3(h')
+        c4a = builder.avg_pool(f"{name}_c4_poola", x_prev, kernel=3, stride=1, padding=1)
+        c4b = builder.avg_pool(f"{name}_c4_poolb", x_prev, kernel=3, stride=1, padding=1)
+        c4 = builder.add(f"{name}_c4_add", [c4a, c4b])
+
+        # Combination 5: sep5x5(h') + sep3x3(h')
+        c5a = builder.sep_conv2d(f"{name}_c5_sep5x5", x_prev, out_channels=channels, kernel=5)
+        c5b = builder.sep_conv2d(f"{name}_c5_sep3x3", x_prev, out_channels=channels, kernel=3)
+        c5 = builder.add(f"{name}_c5_add", [c5a, c5b])
+
+        return builder.concat(f"{name}_concat", [c1, c2, c3, c4, c5])
+
+
+def reduction_cell(
+    builder: GraphBuilder,
+    h: str,
+    h_prev: str,
+    name: str,
+    channels: int,
+) -> str:
+    """NasNet-A reduction cell (stride 2)."""
+    with builder.block(name):
+        x = _fit(builder, h, f"{name}_fit_h", channels)
+        x_prev = _fit(builder, h_prev, f"{name}_fit_hprev", channels, stride=2)
+
+        # Combination 1: sep5x5(h, stride 2) + sep7x7(h', stride 2... applied to
+        # the already strided fit) -> add
+        c1a = builder.sep_conv2d(f"{name}_c1_sep5x5", x, out_channels=channels, kernel=5, stride=2)
+        c1b = builder.sep_conv2d(f"{name}_c1_sep7x7", x_prev, out_channels=channels, kernel=7)
+        c1 = builder.add(f"{name}_c1_add", [c1a, c1b])
+
+        # Combination 2: maxpool3x3(h, stride 2) + sep7x7(h')
+        c2a = builder.max_pool(f"{name}_c2_pool", x, kernel=3, stride=2, padding=1)
+        c2b = builder.sep_conv2d(f"{name}_c2_sep7x7", x_prev, out_channels=channels, kernel=7)
+        c2 = builder.add(f"{name}_c2_add", [c2a, c2b])
+
+        # Combination 3: avgpool3x3(h, stride 2) + sep5x5(h')
+        c3a = builder.avg_pool(f"{name}_c3_pool", x, kernel=3, stride=2, padding=1)
+        c3b = builder.sep_conv2d(f"{name}_c3_sep5x5", x_prev, out_channels=channels, kernel=5)
+        c3 = builder.add(f"{name}_c3_add", [c3a, c3b])
+
+        # Combination 4: maxpool3x3(h, stride 2) + sep3x3(on combination 1)
+        c4a = builder.max_pool(f"{name}_c4_pool", x, kernel=3, stride=2, padding=1)
+        c4b = builder.sep_conv2d(f"{name}_c4_sep3x3", c1, out_channels=channels, kernel=3)
+        c4 = builder.add(f"{name}_c4_add", [c4a, c4b])
+
+        # Combination 5: avgpool3x3(on combination 1) + identity(combination 2)
+        c5a = builder.avg_pool(f"{name}_c5_pool", c1, kernel=3, stride=1, padding=1)
+        c5 = builder.add(f"{name}_c5_add", [c5a, c2])
+
+        return builder.concat(f"{name}_concat", [c3, c4, c5, c1])
+
+
+def nasnet_a(
+    batch_size: int = 1,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    base_channels: int = 168,
+    cells_per_stage: int = 4,
+) -> Graph:
+    """Build NasNet-A with 13 cells (4 normal, reduction, 4 normal, reduction, 3 normal)."""
+    builder = GraphBuilder("nasnet_a", TensorShape(batch_size, 3, image_size, image_size))
+    x = builder.input_name
+
+    with builder.block("stem"):
+        x = builder.conv2d("stem_conv", x, out_channels=96, kernel=3, stride=2, padding=1)
+        x = builder.conv2d("stem_reduce1", x, out_channels=base_channels // 2, kernel=3, stride=2)
+        x = builder.conv2d("stem_reduce2", x, out_channels=base_channels, kernel=3, stride=2)
+
+    h_prev = x
+    h = x
+    channels = base_channels
+    cell_index = 0
+
+    # Stage 1: normal cells at 28x28.
+    for _ in range(cells_per_stage):
+        cell_index += 1
+        out = normal_cell(builder, h, h_prev, f"cell_{cell_index}_normal", channels)
+        h_prev, h = h, out
+
+    # Reduction to 14x14 and doubled channels.
+    cell_index += 1
+    channels *= 2
+    out = reduction_cell(builder, h, h, f"cell_{cell_index}_reduction", channels)
+    h_prev, h = out, out
+
+    # Stage 2: normal cells at 14x14.
+    for _ in range(cells_per_stage):
+        cell_index += 1
+        out = normal_cell(builder, h, h_prev, f"cell_{cell_index}_normal", channels)
+        h_prev, h = h, out
+
+    # Reduction to 7x7 and doubled channels.
+    cell_index += 1
+    channels *= 2
+    out = reduction_cell(builder, h, h, f"cell_{cell_index}_reduction", channels)
+    h_prev, h = out, out
+
+    # Stage 3: normal cells at 7x7.
+    for _ in range(cells_per_stage - 1):
+        cell_index += 1
+        out = normal_cell(builder, h, h_prev, f"cell_{cell_index}_normal", channels)
+        h_prev, h = h, out
+
+    with builder.block("head"):
+        x = builder.relu("head_relu", h)
+        x = builder.global_avg_pool("head_pool", x)
+        x = builder.flatten("head_flatten", x)
+        builder.linear("head_fc", x, out_features=num_classes)
+
+    return builder.build()
+
+
+register_model(
+    ModelSpec(
+        name="nasnet_a",
+        builder=nasnet_a,
+        description="NasNet-A (Zoph et al. 2018) with 13 searched cells",
+        default_image_size=224,
+        paper_blocks=13,
+        paper_operators=374,
+        operator_type="Relu-SepConv",
+    )
+)

@@ -1,0 +1,137 @@
+"""ResNet family (He et al., 2016).
+
+The paper notes (Section 5) that ResNet-34 / ResNet-50 offer very limited
+inter-operator parallelism — only the downsample (projection) convolution of
+the first block of each stage can run concurrently with the residual branch —
+so IOS obtains merely 2-5 % speedup and ResNet is excluded from the main
+benchmark suite.  We include the models to reproduce exactly that observation
+(`benchmarks/bench_resnet_note.py`).
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.tensor import TensorShape
+from .common import ModelSpec, register_model
+
+__all__ = ["resnet_18", "resnet_34", "resnet_50", "basic_block", "bottleneck_block"]
+
+
+def basic_block(
+    builder: GraphBuilder,
+    x: str,
+    name: str,
+    channels: int,
+    stride: int = 1,
+    downsample: bool = False,
+) -> str:
+    """ResNet basic block: two 3x3 convolutions and a residual addition."""
+    with builder.block(name):
+        out = builder.conv2d(f"{name}_conv1", x, out_channels=channels, kernel=3, stride=stride)
+        out = builder.conv2d(f"{name}_conv2", out, out_channels=channels, kernel=3, activation=None)
+        if downsample:
+            shortcut = builder.conv2d(
+                f"{name}_downsample", x, out_channels=channels, kernel=1, stride=stride,
+                activation=None,
+            )
+        else:
+            shortcut = x
+        out = builder.add(f"{name}_add", [out, shortcut])
+        return builder.relu(f"{name}_relu", out)
+
+
+def bottleneck_block(
+    builder: GraphBuilder,
+    x: str,
+    name: str,
+    channels: int,
+    stride: int = 1,
+    downsample: bool = False,
+    expansion: int = 4,
+) -> str:
+    """ResNet bottleneck block: 1x1 -> 3x3 -> 1x1 convolutions plus residual."""
+    with builder.block(name):
+        out = builder.conv2d(f"{name}_conv1", x, out_channels=channels, kernel=1)
+        out = builder.conv2d(f"{name}_conv2", out, out_channels=channels, kernel=3, stride=stride)
+        out = builder.conv2d(
+            f"{name}_conv3", out, out_channels=channels * expansion, kernel=1, activation=None
+        )
+        if downsample:
+            shortcut = builder.conv2d(
+                f"{name}_downsample", x, out_channels=channels * expansion, kernel=1,
+                stride=stride, activation=None,
+            )
+        else:
+            shortcut = x
+        out = builder.add(f"{name}_add", [out, shortcut])
+        return builder.relu(f"{name}_relu", out)
+
+
+def _resnet(
+    name: str,
+    layers: list[int],
+    bottleneck: bool,
+    batch_size: int,
+    image_size: int,
+    num_classes: int,
+) -> Graph:
+    builder = GraphBuilder(name, TensorShape(batch_size, 3, image_size, image_size))
+    x = builder.input_name
+
+    with builder.block("stem"):
+        x = builder.conv2d("stem_conv", x, out_channels=64, kernel=7, stride=2, padding=3)
+        x = builder.max_pool("stem_pool", x, kernel=3, stride=2, padding=1)
+
+    block_fn = bottleneck_block if bottleneck else basic_block
+    channels = 64
+    for stage_index, num_blocks in enumerate(layers):
+        for block_index in range(num_blocks):
+            stride = 2 if stage_index > 0 and block_index == 0 else 1
+            downsample = block_index == 0 and (bottleneck or stage_index > 0)
+            x = block_fn(
+                builder,
+                x,
+                f"stage{stage_index + 1}_block{block_index + 1}",
+                channels,
+                stride=stride,
+                downsample=downsample,
+            )
+        channels *= 2
+
+    with builder.block("head"):
+        x = builder.global_avg_pool("head_pool", x)
+        x = builder.flatten("head_flatten", x)
+        builder.linear("head_fc", x, out_features=num_classes)
+
+    return builder.build()
+
+
+def resnet_18(batch_size: int = 1, image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-18 (basic blocks, layer plan 2-2-2-2)."""
+    return _resnet("resnet_18", [2, 2, 2, 2], False, batch_size, image_size, num_classes)
+
+
+def resnet_34(batch_size: int = 1, image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-34 (basic blocks, layer plan 3-4-6-3)."""
+    return _resnet("resnet_34", [3, 4, 6, 3], False, batch_size, image_size, num_classes)
+
+
+def resnet_50(batch_size: int = 1, image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-50 (bottleneck blocks, layer plan 3-4-6-3)."""
+    return _resnet("resnet_50", [3, 4, 6, 3], True, batch_size, image_size, num_classes)
+
+
+for _name, _builder, _desc in [
+    ("resnet_18", resnet_18, "ResNet-18 (He et al. 2016)"),
+    ("resnet_34", resnet_34, "ResNet-34 (He et al. 2016)"),
+    ("resnet_50", resnet_50, "ResNet-50 (He et al. 2016)"),
+]:
+    register_model(
+        ModelSpec(
+            name=_name,
+            builder=_builder,
+            description=_desc,
+            default_image_size=224,
+            operator_type="Conv-Relu",
+        )
+    )

@@ -1,0 +1,88 @@
+"""SqueezeNet v1.0 (Iandola et al., 2016).
+
+SqueezeNet is the smallest network in the paper's benchmark suite (Table 2:
+10 blocks, "Conv-Relu" operators).  Its fire modules offer only modest
+inter-operator parallelism (two expand convolutions per module), which is why
+the greedy schedule — whose extra synchronisation is not amortised — actually
+*hurts* SqueezeNet in Figure 6 while IOS still helps.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.tensor import TensorShape
+from .common import ModelSpec, register_model
+
+__all__ = ["squeezenet", "fire_module"]
+
+
+def fire_module(
+    builder: GraphBuilder,
+    x: str,
+    name: str,
+    squeeze_channels: int,
+    expand1x1_channels: int,
+    expand3x3_channels: int,
+    pool_after: bool = False,
+) -> str:
+    """A fire module: squeeze 1x1 -> (expand 1x1 || expand 3x3) -> concat.
+
+    The two expand convolutions consume the same squeeze output, so they can
+    either run concurrently (different streams) or be merged into one
+    convolution whose 1x1 kernels are zero-padded to 3x3 — both options the
+    IOS GENERATE STAGE procedure weighs against each other.
+    """
+    with builder.block(name):
+        squeeze = builder.conv2d(f"{name}_squeeze1x1", x, out_channels=squeeze_channels, kernel=1)
+        expand1 = builder.conv2d(
+            f"{name}_expand1x1", squeeze, out_channels=expand1x1_channels, kernel=1
+        )
+        expand3 = builder.conv2d(
+            f"{name}_expand3x3", squeeze, out_channels=expand3x3_channels, kernel=3
+        )
+        out = builder.concat(f"{name}_concat", [expand1, expand3])
+        if pool_after:
+            out = builder.max_pool(f"{name}_pool", out, kernel=3, stride=2, padding=0, )
+        return out
+
+
+def squeezenet(
+    batch_size: int = 1,
+    image_size: int = 224,
+    num_classes: int = 1000,
+) -> Graph:
+    """Build SqueezeNet v1.0: conv1, eight fire modules, conv10 classifier."""
+    builder = GraphBuilder("squeezenet", TensorShape(batch_size, 3, image_size, image_size))
+    x = builder.input_name
+
+    with builder.block("conv1"):
+        x = builder.conv2d("conv1", x, out_channels=96, kernel=7, stride=2, padding=3)
+        x = builder.max_pool("pool1", x, kernel=3, stride=2, padding=0)
+
+    x = fire_module(builder, x, "fire2", 16, 64, 64)
+    x = fire_module(builder, x, "fire3", 16, 64, 64)
+    x = fire_module(builder, x, "fire4", 32, 128, 128, pool_after=True)
+    x = fire_module(builder, x, "fire5", 32, 128, 128)
+    x = fire_module(builder, x, "fire6", 48, 192, 192)
+    x = fire_module(builder, x, "fire7", 48, 192, 192)
+    x = fire_module(builder, x, "fire8", 64, 256, 256, pool_after=True)
+    x = fire_module(builder, x, "fire9", 64, 256, 256)
+
+    with builder.block("conv10"):
+        x = builder.conv2d("conv10", x, out_channels=num_classes, kernel=1)
+        x = builder.global_avg_pool("pool10", x)
+
+    return builder.build()
+
+
+register_model(
+    ModelSpec(
+        name="squeezenet",
+        builder=squeezenet,
+        description="SqueezeNet v1.0 (Iandola et al. 2016), 8 fire modules",
+        default_image_size=224,
+        paper_blocks=10,
+        paper_operators=50,
+        operator_type="Conv-Relu",
+    )
+)

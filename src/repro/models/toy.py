@@ -1,0 +1,149 @@
+"""Small example graphs taken directly from the paper's figures.
+
+* :func:`figure2_block` — the motivating 4-convolution block of Figure 2 whose
+  sequential, greedy and IOS schedules the paper profiles on a V100;
+* :func:`figure3_graph` — the 5-operator example (convolutions a-d and matmul
+  e) used to explain stages, operator merge and concurrent execution;
+* :func:`figure5_graph` — the 3-operator example used to walk through the
+  dynamic programming algorithm;
+* :func:`chain_graph` / :func:`parallel_chains_graph` — parametric graphs used
+  by tests and by the worst-case complexity experiment (Figure 13).
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.tensor import TensorShape
+from .common import ModelSpec, register_model
+
+__all__ = [
+    "figure2_block",
+    "figure3_graph",
+    "figure5_graph",
+    "chain_graph",
+    "parallel_chains_graph",
+    "diamond_graph",
+]
+
+
+def figure2_block(batch_size: int = 1, channels: int = 384, spatial: int = 15) -> Graph:
+    """The Figure 2 block: four 3x3 convolutions and a concatenation.
+
+    Dependencies: ``input -> a -> b``, ``input -> c``, ``input -> d`` and
+    ``concat(b, c, d)``.  With ``channels=384`` and ``spatial=15`` the
+    convolution workloads match the paper's annotations (conv [a]/[c] are
+    0.6 GFLOPs, conv [b]/[d] are 1.2 GFLOPs, the concat output has 1920
+    channels).
+    """
+    builder = GraphBuilder("figure2_block", TensorShape(batch_size, channels, spatial, spatial))
+    x = builder.input_name
+    with builder.block("block"):
+        a = builder.conv2d("conv_a", x, out_channels=channels, kernel=3)
+        b = builder.conv2d("conv_b", a, out_channels=2 * channels, kernel=3)
+        c = builder.conv2d("conv_c", x, out_channels=channels, kernel=3)
+        d = builder.conv2d("conv_d", x, out_channels=2 * channels, kernel=3)
+        builder.concat("concat", [b, c, d])
+    return builder.build()
+
+
+def figure3_graph(batch_size: int = 1, channels: int = 128, spatial: int = 14) -> Graph:
+    """The Figure 3 example: convolutions a-d and a matrix multiplication e.
+
+    ``a`` and ``b`` consume the graph input (and can therefore be merged);
+    ``c`` and ``d`` form a chain below ``a`` (so they land in the same group
+    under concurrent execution); ``e`` is a matrix multiplication fed by ``b``.
+    """
+    builder = GraphBuilder("figure3_graph", TensorShape(batch_size, channels, spatial, spatial))
+    x = builder.input_name
+    with builder.block("block"):
+        a = builder.conv2d("conv_a", x, out_channels=channels, kernel=3)
+        b = builder.conv2d("conv_b", x, out_channels=2 * channels, kernel=3)
+        c = builder.conv2d("conv_c", a, out_channels=channels, kernel=3)
+        d = builder.conv2d("conv_d", c, out_channels=channels, kernel=3)
+        e = builder.matmul("matmul_e", b, out_features=256)
+    return builder.build()
+
+
+def figure5_graph(batch_size: int = 1, channels: int = 96, spatial: int = 28) -> Graph:
+    """The Figure 5 example: ``a -> b`` with ``c`` independent of both."""
+    builder = GraphBuilder("figure5_graph", TensorShape(batch_size, channels, spatial, spatial))
+    x = builder.input_name
+    with builder.block("block"):
+        a = builder.conv2d("conv_a", x, out_channels=2 * channels, kernel=3)
+        builder.conv2d("conv_b", a, out_channels=channels, kernel=3)
+        builder.conv2d("conv_c", x, out_channels=channels, kernel=3)
+    return builder.build()
+
+
+def diamond_graph(batch_size: int = 1, channels: int = 64, spatial: int = 28) -> Graph:
+    """A diamond: one producer, two parallel branches, one consumer.
+
+    The smallest graph on which inter-operator parallelism is possible; used
+    extensively by the unit tests.
+    """
+    builder = GraphBuilder("diamond", TensorShape(batch_size, channels, spatial, spatial))
+    x = builder.input_name
+    with builder.block("block"):
+        top = builder.conv2d("top", x, out_channels=channels, kernel=1)
+        left = builder.conv2d("left", top, out_channels=channels, kernel=3)
+        right = builder.conv2d("right", top, out_channels=channels, kernel=3)
+        builder.concat("join", [left, right])
+    return builder.build()
+
+
+def chain_graph(length: int = 4, batch_size: int = 1, channels: int = 64, spatial: int = 28) -> Graph:
+    """A pure chain of ``length`` convolutions (width 1, no parallelism)."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    builder = GraphBuilder("chain", TensorShape(batch_size, channels, spatial, spatial))
+    x = builder.input_name
+    with builder.block("block"):
+        for i in range(length):
+            x = builder.conv2d(f"conv_{i}", x, out_channels=channels, kernel=3)
+    return builder.build()
+
+
+def parallel_chains_graph(
+    num_chains: int = 3,
+    chain_length: int = 3,
+    batch_size: int = 1,
+    channels: int = 64,
+    spatial: int = 14,
+    join: bool = True,
+) -> Graph:
+    """``num_chains`` independent chains of ``chain_length`` convolutions each.
+
+    This is exactly the worst-case construction of Appendix A (Figure 13): a
+    DAG of width ``d = num_chains`` whose number of (state, ending) pairs
+    reaches the complexity upper bound.
+    """
+    if num_chains < 1 or chain_length < 1:
+        raise ValueError("num_chains and chain_length must be at least 1")
+    builder = GraphBuilder(
+        f"parallel_chains_{num_chains}x{chain_length}",
+        TensorShape(batch_size, channels, spatial, spatial),
+    )
+    x = builder.input_name
+    with builder.block("block"):
+        tails = []
+        for chain in range(num_chains):
+            node = x
+            for i in range(chain_length):
+                node = builder.conv2d(
+                    f"chain{chain}_conv{i}", node, out_channels=channels, kernel=3
+                )
+            tails.append(node)
+        if join and len(tails) > 1:
+            builder.concat("join", tails)
+    return builder.build()
+
+
+register_model(
+    ModelSpec(
+        name="figure2_block",
+        builder=figure2_block,
+        description="Motivating 4-convolution block from Figure 2 of the paper",
+        default_image_size=15,
+        operator_type="Conv-Relu",
+    )
+)

@@ -1,0 +1,76 @@
+"""VGG-16 and AlexNet: the single-branch CNNs of the Figure 1 trend study.
+
+These early networks consist of a handful of very large convolutions executed
+strictly sequentially; their average FLOPs per convolution is two orders of
+magnitude above NasNet's, which is the paper's evidence (Figure 1) that the
+per-operator work shrank while devices grew — the utilisation gap IOS closes.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, GraphBuilder
+from ..ir.tensor import TensorShape
+from .common import ModelSpec, register_model
+
+__all__ = ["vgg_16", "alexnet"]
+
+
+def vgg_16(batch_size: int = 1, image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """VGG-16: 13 convolutions in five stages plus three fully-connected layers."""
+    plan = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)]
+    builder = GraphBuilder("vgg_16", TensorShape(batch_size, 3, image_size, image_size))
+    x = builder.input_name
+    for stage_index, (num_convs, channels) in enumerate(plan, start=1):
+        with builder.block(f"stage{stage_index}"):
+            for conv_index in range(1, num_convs + 1):
+                x = builder.conv2d(
+                    f"stage{stage_index}_conv{conv_index}", x, out_channels=channels, kernel=3
+                )
+            x = builder.max_pool(f"stage{stage_index}_pool", x, kernel=2, stride=2)
+    with builder.block("classifier"):
+        x = builder.flatten("flatten", x)
+        x = builder.linear("fc1", x, out_features=4096, activation="relu")
+        x = builder.linear("fc2", x, out_features=4096, activation="relu")
+        builder.linear("fc3", x, out_features=num_classes)
+    return builder.build()
+
+
+def alexnet(batch_size: int = 1, image_size: int = 227, num_classes: int = 1000) -> Graph:
+    """AlexNet: five convolutions and three fully-connected layers."""
+    builder = GraphBuilder("alexnet", TensorShape(batch_size, 3, image_size, image_size))
+    x = builder.input_name
+    with builder.block("features"):
+        x = builder.conv2d("conv1", x, out_channels=96, kernel=11, stride=4, padding=0)
+        x = builder.max_pool("pool1", x, kernel=3, stride=2)
+        x = builder.conv2d("conv2", x, out_channels=256, kernel=5, padding=2)
+        x = builder.max_pool("pool2", x, kernel=3, stride=2)
+        x = builder.conv2d("conv3", x, out_channels=384, kernel=3)
+        x = builder.conv2d("conv4", x, out_channels=384, kernel=3)
+        x = builder.conv2d("conv5", x, out_channels=256, kernel=3)
+        x = builder.max_pool("pool5", x, kernel=3, stride=2)
+    with builder.block("classifier"):
+        x = builder.flatten("flatten", x)
+        x = builder.linear("fc1", x, out_features=4096, activation="relu")
+        x = builder.linear("fc2", x, out_features=4096, activation="relu")
+        builder.linear("fc3", x, out_features=num_classes)
+    return builder.build()
+
+
+register_model(
+    ModelSpec(
+        name="vgg_16",
+        builder=vgg_16,
+        description="VGG-16 (Simonyan & Zisserman 2014), single-branch baseline",
+        default_image_size=224,
+        operator_type="Conv-Relu",
+    )
+)
+register_model(
+    ModelSpec(
+        name="alexnet",
+        builder=alexnet,
+        description="AlexNet (Krizhevsky et al. 2012), single-branch baseline",
+        default_image_size=227,
+        operator_type="Conv-Relu",
+    )
+)

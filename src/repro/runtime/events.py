@@ -1,0 +1,55 @@
+"""Event records produced by the execution engine.
+
+The executor reports what happened during a simulated inference as a list of
+events; experiments (e.g. the active-warp study of Figure 8) and debugging
+tools consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StageEvent", "KernelEvent"]
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One kernel execution within a stage, in network-global time."""
+
+    kernel_name: str
+    stage_index: int
+    stream: int
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One stage execution, in network-global time."""
+
+    stage_index: int
+    label: str
+    strategy: str
+    start_ms: float
+    end_ms: float
+    num_groups: int
+    num_kernels: int
+    flops: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / 1e9
+
+    def achieved_tflops(self) -> float:
+        """TFLOPs/s achieved during this stage."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return (self.flops / (self.duration_ms / 1e3)) / 1e12

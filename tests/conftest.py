@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Most tests operate on the small example graphs from the paper's figures
+(diamond, Figure-2 block, Figure-5 graph) and the V100 device preset; the full
+benchmark networks are only touched by a handful of model-zoo and integration
+tests to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FlopsCostModel, SimulatedCostModel
+from repro.hardware import CUDNN_PROFILE, get_device
+from repro.models import (
+    chain_graph,
+    diamond_graph,
+    figure2_block,
+    figure3_graph,
+    figure5_graph,
+    parallel_chains_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return get_device("v100")
+
+
+@pytest.fixture(scope="session")
+def k80():
+    return get_device("k80")
+
+
+@pytest.fixture(scope="session")
+def rtx2080ti():
+    return get_device("rtx2080ti")
+
+
+@pytest.fixture(scope="session")
+def cudnn_profile():
+    return CUDNN_PROFILE
+
+
+@pytest.fixture
+def diamond():
+    return diamond_graph()
+
+
+@pytest.fixture
+def chain4():
+    return chain_graph(length=4)
+
+
+@pytest.fixture
+def fig2():
+    return figure2_block()
+
+
+@pytest.fixture
+def fig3():
+    return figure3_graph()
+
+
+@pytest.fixture
+def fig5():
+    return figure5_graph()
+
+
+@pytest.fixture
+def two_chains():
+    return parallel_chains_graph(num_chains=2, chain_length=2, join=False)
+
+
+@pytest.fixture
+def sim_cost_model(v100):
+    return SimulatedCostModel(v100)
+
+
+@pytest.fixture
+def flops_cost_model():
+    return FlopsCostModel(flops_per_ms=1e9, overhead_ms=0.01)

@@ -1,0 +1,37 @@
+"""Integration tests for the ios-bench command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.cli import main
+
+
+class TestCLI:
+    def test_experiment_list_is_complete(self):
+        expected = {
+            "figure1", "figure2", "table1", "table2", "figure6", "figure7", "figure8",
+            "figure9", "table3-batch", "table3-device", "figure10", "figure11", "figure12",
+            "figure13", "figure14", "figure15", "figure16", "resnet-note",
+            "ablation-cost-model", "ablation-blockwise",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "nasnet_a" in out
+
+    def test_run_with_csv_output(self, capsys, tmp_path):
+        assert main(["figure13", "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "figure13.csv").exists()
+
+    def test_device_flag(self, capsys):
+        assert main(["figure2", "--device", "rtx2080ti"]) == 0
+        assert "rtx2080ti" not in capsys.readouterr().err
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

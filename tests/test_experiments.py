@@ -1,0 +1,121 @@
+"""Unit tests for the experiment harness (fast experiments only)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentTable,
+    default_context,
+    geometric_mean,
+    normalize_to_best,
+    run_figure1,
+    run_figure2,
+    run_figure8,
+    run_figure13,
+    run_table2,
+)
+from repro.experiments.fig02_motivating import summarize_figure2
+
+
+class TestTableUtilities:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)  # zeros ignored
+
+    def test_normalize_to_best(self):
+        normalized = normalize_to_best({"a": 2.0, "b": 4.0, "c": 0.0, "d": float("inf")})
+        assert normalized["b"] == 1.0
+        assert normalized["a"] == 0.5
+        assert normalized["c"] == 0.0
+        assert normalized["d"] == 0.0
+
+    def test_normalize_all_failed(self):
+        assert normalize_to_best({"a": 0.0}) == {"a": 0.0}
+
+    def test_experiment_table_rendering(self):
+        table = ExperimentTable("x", "Test table", ["name", "value", "flag"])
+        table.add_row(name="alpha", value=1.23456, flag=True)
+        table.add_row(name="beta", value=float("inf"), flag=False)
+        text = table.to_text()
+        assert "Test table" in text
+        assert "alpha" in text and "1.235" in text
+        assert "OOM" in text
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "name,value,flag"
+
+    def test_table_accessors(self):
+        table = ExperimentTable("x", "t", ["k", "v"])
+        table.add_row(k="a", v=2.0)
+        table.add_row(k="b", v=8.0)
+        assert table.column("v") == [2.0, 8.0]
+        assert table.row_by("k", "b")["v"] == 8.0
+        with pytest.raises(KeyError):
+            table.row_by("k", "zzz")
+        assert table.summary(["v"])["v"] == pytest.approx(4.0)
+
+    def test_csv_writes_file(self, tmp_path):
+        table = ExperimentTable("x", "t", ["a"])
+        table.add_row(a=1)
+        path = tmp_path / "out" / "t.csv"
+        table.to_csv(path)
+        assert path.read_text().startswith("a")
+
+
+class TestFastExperiments:
+    def test_figure1_trend_directions(self):
+        table = run_figure1()
+        rows = table.rows
+        assert [row["year"] for row in rows] == [2013, 2015, 2018]
+        # FLOPs per convolution falls, #convs and peak performance rise.
+        assert rows[0]["avg_mflops_per_conv"] > 10 * rows[2]["avg_mflops_per_conv"]
+        assert rows[2]["num_convolutions"] > rows[0]["num_convolutions"]
+        assert rows[2]["device_peak_gflops"] > rows[0]["device_peak_gflops"]
+
+    def test_figure2_schedule_ordering(self):
+        table = run_figure2()
+        summary = summarize_figure2(table)
+        assert set(summary) == {"sequential", "greedy", "ios-both"}
+        assert summary["ios-both"]["total_latency_ms"] < summary["greedy"]["total_latency_ms"]
+        assert summary["greedy"]["total_latency_ms"] < summary["sequential"]["total_latency_ms"]
+        assert summary["ios-both"]["avg_utilization"] > summary["sequential"]["avg_utilization"]
+
+    def test_figure8_ios_has_more_active_warps(self):
+        table = run_figure8()
+        ios_row = table.row_by("schedule", "ios-both")
+        seq_row = table.row_by("schedule", "sequential")
+        assert ios_row["active_warp_ratio_vs_sequential"] > 1.2
+        assert seq_row["active_warp_ratio_vs_sequential"] == pytest.approx(1.0)
+        assert ios_row["latency_ms"] < seq_row["latency_ms"]
+
+    def test_figure13_bound_is_tight(self):
+        table = run_figure13(configs=[(1, 2), (2, 2), (2, 3)])
+        for row in table.rows:
+            assert row["ratio"] == pytest.approx(1.0)
+            assert row["transitions"] < row["bound"]
+
+    def test_table2_reports_benchmark_suite(self):
+        table = run_table2(models=["inception_v3", "squeezenet"])
+        inception = table.row_by("network", "inception_v3")
+        assert inception["paper_operators"] == 119
+        assert 100 <= inception["num_operators"] <= 140
+        squeeze = table.row_by("network", "squeezenet")
+        assert squeeze["num_blocks"] == 10
+
+    def test_experiment_context_caches_graphs_and_searches(self, v100):
+        ctx = default_context("v100")
+        graph_a = ctx.graph("figure2_block", 1)
+        graph_b = ctx.graph("figure2_block", 1)
+        assert graph_a is graph_b
+        first = ctx.ios_result(graph_a)
+        second = ctx.ios_result(graph_a)
+        assert first is second
+
+    def test_context_schedule_labels(self):
+        ctx = default_context("v100")
+        graph = ctx.graph("figure2_block", 1)
+        with pytest.raises(KeyError):
+            ctx.schedule(graph, "alien-schedule")

@@ -1,0 +1,233 @@
+"""Unit tests for repro.ir.graph, validate, flops, serialization and visualize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    Conv2d,
+    Graph,
+    GraphBuilder,
+    GraphValidationError,
+    Placeholder,
+    TensorShape,
+    block_summary_table,
+    conv_statistics,
+    graph_cost_breakdown,
+    graph_from_dict,
+    graph_to_dict,
+    graph_to_dot,
+    graph_to_text,
+    load_graph,
+    operator_cost,
+    save_graph,
+    validate_graph,
+)
+from repro.models import diamond_graph, figure2_block
+
+
+class TestGraphBuilder:
+    def test_builds_diamond(self, diamond):
+        assert len(diamond.operators()) == 4
+        assert diamond.input_shape == TensorShape(1, 64, 28, 28)
+        assert diamond.batch_size == 1
+
+    def test_edges_and_neighbors(self, diamond):
+        assert set(diamond.predecessors("join")) == {"left", "right"}
+        assert set(diamond.successors("top")) == {"left", "right"}
+        assert ("top", "left") in diamond.edges()
+
+    def test_output_names(self, diamond):
+        assert diamond.output_names() == ["join"]
+
+    def test_duplicate_name_rejected(self):
+        builder = GraphBuilder("g", TensorShape(1, 3, 8, 8))
+        builder.conv2d("a", builder.input_name, 8, 3)
+        with pytest.raises(ValueError):
+            builder.conv2d("a", builder.input_name, 8, 3)
+
+    def test_unknown_input_rejected(self):
+        builder = GraphBuilder("g", TensorShape(1, 3, 8, 8))
+        with pytest.raises(ValueError):
+            builder.conv2d("a", "nonexistent", 8, 3)
+
+    def test_blocks_collect_ops(self, fig2):
+        assert len(fig2.blocks) == 1
+        assert set(fig2.blocks[0].node_names) == {"conv_a", "conv_b", "conv_c", "conv_d", "concat"}
+
+    def test_implicit_block_created_outside_explicit(self):
+        builder = GraphBuilder("g", TensorShape(1, 3, 8, 8))
+        builder.conv2d("a", builder.input_name, 8, 3)
+        graph = builder.build()
+        assert graph.block_of("a") is not None
+
+    def test_nested_blocks_rejected(self):
+        builder = GraphBuilder("g", TensorShape(1, 3, 8, 8))
+        with builder.block("outer"):
+            with pytest.raises(RuntimeError):
+                builder._begin_block("inner")
+
+    def test_schedulable_names_exclude_placeholder(self, diamond):
+        assert "input" not in diamond.schedulable_names()
+        assert len(diamond.schedulable_names()) == 4
+
+
+class TestTopologicalOrder:
+    def test_full_order_respects_dependencies(self, fig2):
+        order = fig2.topological_order()
+        assert order.index("conv_a") < order.index("conv_b")
+        assert order.index("conv_b") < order.index("concat")
+
+    def test_subset_order(self, fig2):
+        order = fig2.topological_order(["conv_b", "conv_a"])
+        assert order == ["conv_a", "conv_b"]
+
+    def test_cycle_detection(self):
+        graph = Graph("cyclic")
+        graph.add_node(Placeholder("input", TensorShape(1, 3, 8, 8)))
+        block = graph.add_block("b")
+        a = Conv2d("a", ["input"], 8, 3)
+        a.bind([TensorShape(1, 3, 8, 8)])
+        graph.add_node(a, block)
+        # Manually create a cycle a -> b -> a.
+        b = Conv2d("b", ["a"], 8, 3)
+        b.bind([a.output_shape])
+        graph.add_node(b, block)
+        graph.nodes["a"].inputs = ("input", "b")
+        graph._consumers["b"].append("a")
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+
+class TestWithBatchSize:
+    def test_rebatches_all_shapes(self, fig2):
+        graph32 = fig2.with_batch_size(32)
+        assert graph32.batch_size == 32
+        assert graph32.nodes["conv_a"].output_shape.batch == 32
+        # Original untouched.
+        assert fig2.batch_size == 1
+
+    def test_preserves_structure_and_blocks(self, diamond):
+        clone = diamond.with_batch_size(8)
+        assert [op.name for op in clone.operators()] == [op.name for op in diamond.operators()]
+        assert [b.name for b in clone.blocks] == [b.name for b in diamond.blocks]
+        assert clone.block_of("left").name == diamond.block_of("left").name
+
+    def test_flops_scale_linearly_with_batch(self, diamond):
+        assert diamond.with_batch_size(4).total_flops() == pytest.approx(
+            4 * diamond.total_flops(), rel=1e-6
+        )
+
+    def test_rejects_bad_batch(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.with_batch_size(0)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, fig2):
+        validate_graph(fig2)
+
+    def test_missing_block_membership_rejected(self):
+        graph = Graph("g")
+        graph.add_node(Placeholder("input", TensorShape(1, 3, 8, 8)))
+        conv = Conv2d("a", ["input"], 8, 3)
+        conv.bind([TensorShape(1, 3, 8, 8)])
+        graph.add_node(conv, None)  # not assigned to any block
+        with pytest.raises(GraphValidationError):
+            validate_graph(graph)
+
+    def test_double_block_membership_rejected(self, diamond):
+        diamond.blocks[0].node_names.append("left")  # duplicate membership
+        with pytest.raises(GraphValidationError):
+            validate_graph(diamond)
+
+    def test_backward_block_edge_rejected(self):
+        builder = GraphBuilder("g", TensorShape(1, 8, 8, 8))
+        with builder.block("b1"):
+            a = builder.conv2d("a", builder.input_name, 8, 3)
+        with builder.block("b2"):
+            b = builder.conv2d("b", a, 8, 3)
+        graph = builder.graph
+        # Force an edge from block b2 back into block b1.
+        graph.blocks[0], graph.blocks[1] = graph.blocks[1], graph.blocks[0]
+        with pytest.raises(GraphValidationError):
+            validate_graph(graph)
+
+    def test_two_placeholders_rejected(self):
+        graph = Graph("g")
+        graph.add_node(Placeholder("in1", TensorShape(1, 3, 8, 8)))
+        graph.add_node(Placeholder("in2", TensorShape(1, 3, 8, 8)))
+        with pytest.raises(GraphValidationError):
+            validate_graph(graph)
+
+
+class TestCostAccounting:
+    def test_operator_cost_fields(self, diamond):
+        cost = operator_cost(diamond.nodes["left"])
+        assert cost.flops > 0
+        assert cost.memory_bytes > cost.output_bytes
+        assert cost.arithmetic_intensity > 0
+
+    def test_breakdown_covers_all_operators(self, fig2):
+        breakdown = graph_cost_breakdown(fig2)
+        assert len(breakdown) == len(fig2.operators())
+        assert sum(c.flops for c in breakdown) == fig2.total_flops()
+
+    def test_conv_statistics(self, fig2):
+        stats = conv_statistics(fig2)
+        assert stats.num_convolutions == 4
+        assert stats.average_flops_per_conv == pytest.approx(
+            sum(op.flops() for op in fig2.conv_operators()) / 4
+        )
+
+    def test_total_params_positive(self, fig2):
+        assert fig2.total_params() > 0
+        assert fig2.total_weight_bytes() == fig2.total_params() * 4
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, fig2):
+        rebuilt = graph_from_dict(graph_to_dict(fig2))
+        assert [op.name for op in rebuilt.operators()] == [op.name for op in fig2.operators()]
+        assert rebuilt.total_flops() == fig2.total_flops()
+        assert [b.name for b in rebuilt.blocks] == [b.name for b in fig2.blocks]
+        assert rebuilt.block_of("conv_a").name == fig2.block_of("conv_a").name
+
+    def test_file_roundtrip(self, tmp_path, diamond):
+        path = save_graph(diamond, tmp_path / "diamond.json")
+        loaded = load_graph(path)
+        assert loaded.input_shape == diamond.input_shape
+        assert len(loaded.operators()) == len(diamond.operators())
+
+    def test_version_check(self, fig2):
+        data = graph_to_dict(fig2)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(data)
+
+
+class TestVisualization:
+    def test_text_contains_all_nodes(self, fig2):
+        text = graph_to_text(fig2)
+        for name in ("conv_a", "conv_b", "concat"):
+            assert name in text
+
+    def test_text_truncation(self, fig2):
+        text = graph_to_text(fig2, max_nodes=2)
+        assert "more operators" in text
+
+    def test_dot_is_valid_ish(self, diamond):
+        dot = graph_to_dot(diamond)
+        assert dot.startswith("digraph")
+        assert '"top" -> "left"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_without_clusters(self, diamond):
+        dot = graph_to_dot(diamond, cluster_blocks=False)
+        assert "cluster" not in dot
+
+    def test_block_summary(self):
+        graph = figure2_block()
+        summary = block_summary_table(graph)
+        assert "block" in summary
+        assert "GFLOPs" in summary

@@ -1,0 +1,275 @@
+"""Unit tests for repro.ir.ops (operator taxonomy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.ops import (
+    OP_REGISTRY,
+    Add,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Linear,
+    Matmul,
+    Operator,
+    Placeholder,
+    Pool2d,
+    Relu,
+    SeparableConv2d,
+    Softmax,
+    Split,
+    operator_from_config,
+    register_operator,
+)
+from repro.ir.tensor import TensorShape
+
+X = TensorShape(1, 64, 28, 28)
+
+
+def bound(op: Operator, *input_shapes: TensorShape) -> Operator:
+    op.bind(list(input_shapes) if input_shapes else [X])
+    return op
+
+
+class TestConv2d:
+    def test_output_shape_same_padding(self):
+        conv = bound(Conv2d("c", ["x"], out_channels=128, kernel=3))
+        assert conv.output_shape == TensorShape(1, 128, 28, 28)
+
+    def test_output_shape_stride2(self):
+        conv = bound(Conv2d("c", ["x"], out_channels=128, kernel=3, stride=2))
+        assert conv.output_shape == TensorShape(1, 128, 14, 14)
+
+    def test_asymmetric_kernel(self):
+        conv = bound(Conv2d("c", ["x"], out_channels=64, kernel=(1, 7)))
+        assert conv.output_shape == TensorShape(1, 64, 28, 28)
+
+    def test_flops_formula(self):
+        conv = bound(Conv2d("c", ["x"], out_channels=128, kernel=3, activation=None))
+        expected = 2 * 1 * 128 * 28 * 28 * 64 * 9
+        assert conv.flops() == expected
+
+    def test_fused_relu_adds_flops(self):
+        plain = bound(Conv2d("c", ["x"], out_channels=128, kernel=3, activation=None))
+        fused = bound(Conv2d("c", ["x"], out_channels=128, kernel=3, activation="relu"))
+        assert fused.flops() == plain.flops() + fused.output_shape.numel()
+
+    def test_weight_count_includes_bias(self):
+        conv = bound(Conv2d("c", ["x"], out_channels=32, kernel=1))
+        assert conv.weight_count() == 32 * 64 * 1 * 1 + 32
+
+    def test_grouped_conv_flops_scale_down(self):
+        full = bound(Conv2d("c", ["x"], out_channels=64, kernel=3, activation=None))
+        grouped = bound(Conv2d("c", ["x"], out_channels=64, kernel=3, groups=4, activation=None))
+        assert grouped.flops() == full.flops() // 4
+
+    def test_merge_key_same_for_different_kernels(self):
+        a = Conv2d("a", ["x"], 128, kernel=3)
+        b = Conv2d("b", ["x"], 256, kernel=5)
+        assert a.merge_key() == b.merge_key()
+
+    def test_merge_key_differs_on_stride(self):
+        a = Conv2d("a", ["x"], 128, kernel=3, stride=1)
+        b = Conv2d("b", ["x"], 128, kernel=3, stride=2)
+        assert a.merge_key() != b.merge_key()
+
+    def test_merge_key_none_for_grouped(self):
+        assert Conv2d("a", ["x"], 128, kernel=3, groups=2).merge_key() is None
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d("c", ["x"], out_channels=0, kernel=3)
+
+    def test_rejects_channels_not_divisible_by_groups(self):
+        with pytest.raises(ValueError):
+            Conv2d("c", ["x"], out_channels=10, kernel=3, groups=3)
+
+    def test_rejects_2d_input(self):
+        conv = Conv2d("c", ["x"], out_channels=8, kernel=3)
+        with pytest.raises(ValueError):
+            conv.bind([TensorShape(1, 64)])
+
+    def test_rejects_unknown_padding_string(self):
+        with pytest.raises(ValueError):
+            Conv2d("c", ["x"], out_channels=8, kernel=3, padding="valid-ish")
+
+    def test_memory_bytes_positive_and_consistent(self):
+        conv = bound(Conv2d("c", ["x"], out_channels=16, kernel=3))
+        assert conv.memory_bytes() == conv.input_bytes() + conv.weight_bytes() + conv.output_bytes()
+
+    def test_unbound_flops_raises(self):
+        with pytest.raises(RuntimeError):
+            Conv2d("c", ["x"], out_channels=8, kernel=3).flops()
+
+
+class TestSeparableConv2d:
+    def test_output_shape(self):
+        sep = bound(SeparableConv2d("s", ["x"], out_channels=128, kernel=3))
+        assert sep.output_shape == TensorShape(1, 128, 28, 28)
+
+    def test_flops_below_dense_conv(self):
+        sep = bound(SeparableConv2d("s", ["x"], out_channels=64, kernel=3, pre_activation=False))
+        dense = bound(Conv2d("c", ["x"], out_channels=64, kernel=3, activation=None))
+        assert sep.flops() < dense.flops()
+
+    def test_never_mergeable(self):
+        assert SeparableConv2d("s", ["x"], out_channels=64, kernel=3).merge_key() is None
+
+    def test_pre_activation_adds_flops(self):
+        with_act = bound(SeparableConv2d("s", ["x"], 64, 3, pre_activation=True))
+        without = bound(SeparableConv2d("s", ["x"], 64, 3, pre_activation=False))
+        assert with_act.flops() == without.flops() + X.numel()
+
+
+class TestPooling:
+    def test_max_pool_shape(self):
+        pool = bound(Pool2d("p", ["x"], "max", kernel=3, stride=2, padding=0))
+        assert pool.output_shape == TensorShape(1, 64, 13, 13)
+
+    def test_avg_pool_same_padding(self):
+        pool = bound(Pool2d("p", ["x"], "avg", kernel=3, stride=1, padding=1))
+        assert pool.output_shape == X
+
+    def test_invalid_pool_type(self):
+        with pytest.raises(ValueError):
+            Pool2d("p", ["x"], "median", kernel=3)
+
+    def test_global_avg_pool(self):
+        gap = bound(GlobalAvgPool("g", ["x"]))
+        assert gap.output_shape == TensorShape(1, 64, 1, 1)
+
+    def test_pool_has_zero_weights(self):
+        pool = bound(Pool2d("p", ["x"], "max", kernel=2))
+        assert pool.weight_count() == 0
+
+
+class TestElementwiseAndStructural:
+    def test_relu_preserves_shape(self):
+        assert bound(Relu("r", ["x"])).output_shape == X
+
+    def test_identity_launches_no_kernel(self):
+        op = bound(Identity("i", ["x"]))
+        assert not op.launches_kernel
+        assert op.output_shape == X
+
+    def test_add_shape_and_flops(self):
+        add = Add("a", ["x", "y"])
+        add.bind([X, X])
+        assert add.output_shape == X
+        assert add.flops() == X.numel()
+
+    def test_add_rejects_mismatched_shapes(self):
+        add = Add("a", ["x", "y"])
+        with pytest.raises(ValueError):
+            add.bind([X, TensorShape(1, 32, 28, 28)])
+
+    def test_add_requires_two_inputs(self):
+        with pytest.raises(ValueError):
+            Add("a", ["x"]).bind([X])
+
+    def test_concat_channels(self):
+        concat = Concat("c", ["x", "y"])
+        concat.bind([X, TensorShape(1, 32, 28, 28)])
+        assert concat.output_shape == TensorShape(1, 96, 28, 28)
+
+    def test_split_section_shape(self):
+        split = Split("s", ["x"], sections=[24, 40], index=1)
+        split.bind([X])
+        assert split.output_shape == TensorShape(1, 40, 28, 28)
+        assert not split.launches_kernel
+
+    def test_split_rejects_wrong_sections(self):
+        split = Split("s", ["x"], sections=[10, 10], index=0)
+        with pytest.raises(ValueError):
+            split.bind([X])
+
+    def test_split_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            Split("s", ["x"], sections=[32, 32], index=2)
+
+    def test_flatten(self):
+        assert bound(Flatten("f", ["x"])).output_shape == TensorShape(1, 64 * 28 * 28)
+
+    def test_softmax_preserves_shape(self):
+        sm = Softmax("s", ["x"])
+        sm.bind([TensorShape(1, 1000)])
+        assert sm.output_shape == TensorShape(1, 1000)
+
+
+class TestLinear:
+    def test_linear_flattens_input(self):
+        fc = bound(Linear("fc", ["x"], out_features=1000))
+        assert fc.output_shape == TensorShape(1, 1000)
+        assert fc.in_features == 64 * 28 * 28
+
+    def test_linear_flops(self):
+        fc = Linear("fc", ["x"], out_features=10)
+        fc.bind([TensorShape(2, 100)])
+        assert fc.flops() == 2 * 2 * 100 * 10
+
+    def test_matmul_is_linear_alias(self):
+        assert issubclass(Matmul, Linear)
+        assert Matmul.kind == "matmul"
+
+    def test_linear_merge_key(self):
+        assert Linear("a", ["x"], 10).merge_key() == Linear("b", ["x"], 20).merge_key()
+
+
+class TestRegistryAndSerialization:
+    def test_all_kinds_registered(self):
+        for kind in ("conv2d", "sep_conv2d", "pool2d", "concat", "linear", "placeholder"):
+            assert kind in OP_REGISTRY
+
+    def test_roundtrip_conv(self):
+        conv = Conv2d("c", ["x"], out_channels=48, kernel=(1, 7), stride=2, activation=None)
+        rebuilt = operator_from_config(conv.to_config())
+        assert isinstance(rebuilt, Conv2d)
+        assert rebuilt.out_channels == 48
+        assert rebuilt.kernel == (1, 7)
+        assert rebuilt.stride == (2, 2)
+        assert rebuilt.activation is None
+
+    def test_roundtrip_placeholder(self):
+        ph = Placeholder("input", TensorShape(4, 3, 32, 32))
+        rebuilt = operator_from_config(ph.to_config())
+        assert rebuilt.output_shape == TensorShape(4, 3, 32, 32)
+
+    def test_roundtrip_every_registered_kind_has_from_attrs(self):
+        # Every registered class must expose from_attrs accepting its own attrs.
+        samples = {
+            "conv2d": Conv2d("c", ["x"], 8, 3),
+            "sep_conv2d": SeparableConv2d("s", ["x"], 8, 3),
+            "pool2d": Pool2d("p", ["x"], "max", 2),
+            "relu": Relu("r", ["x"]),
+            "identity": Identity("i", ["x"]),
+            "add": Add("a", ["x", "y"]),
+            "concat": Concat("k", ["x", "y"]),
+            "split": Split("sp", ["x"], [4, 4], 0),
+            "flatten": Flatten("f", ["x"]),
+            "linear": Linear("l", ["x"], 16),
+            "matmul": Matmul("m", ["x"], 16),
+            "softmax": Softmax("sm", ["x"]),
+            "global_avg_pool": GlobalAvgPool("g", ["x"]),
+        }
+        for kind, op in samples.items():
+            rebuilt = operator_from_config(op.to_config())
+            assert rebuilt.kind == kind
+            assert rebuilt.inputs == op.inputs
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            operator_from_config({"kind": "made_up", "name": "x", "inputs": []})
+
+    def test_duplicate_registration_rejected(self):
+        class FakeConv(Operator):
+            kind = "conv2d"
+
+        with pytest.raises(ValueError):
+            register_operator(FakeConv)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Relu("", ["x"])

@@ -1,0 +1,149 @@
+"""Unit tests for repro.ir.tensor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.tensor import FLOAT32_BYTES, TensorShape, conv2d_output_hw, pool2d_output_hw
+
+
+class TestTensorShape:
+    def test_spatial_dims(self):
+        shape = TensorShape(2, 3, 224, 224)
+        assert shape.dims() == (2, 3, 224, 224)
+        assert shape.is_spatial
+        assert shape.rank == 4
+
+    def test_matrix_dims(self):
+        shape = TensorShape(4, 1000)
+        assert shape.dims() == (4, 1000)
+        assert not shape.is_spatial
+        assert shape.rank == 2
+
+    def test_numel_and_bytes(self):
+        shape = TensorShape(1, 3, 4, 5)
+        assert shape.numel() == 60
+        assert shape.bytes() == 60 * FLOAT32_BYTES
+        assert shape.bytes(dtype_bytes=2) == 120
+
+    def test_iteration_matches_dims(self):
+        shape = TensorShape(1, 64, 7, 7)
+        assert tuple(shape) == shape.dims()
+
+    @pytest.mark.parametrize("batch,channels", [(0, 3), (-1, 3), (1, 0), (1, -4)])
+    def test_rejects_non_positive_batch_or_channels(self, batch, channels):
+        with pytest.raises(ValueError):
+            TensorShape(batch, channels, 8, 8)
+
+    def test_rejects_partial_spatial(self):
+        with pytest.raises(ValueError):
+            TensorShape(1, 3, 8, None)
+
+    def test_rejects_non_positive_spatial(self):
+        with pytest.raises(ValueError):
+            TensorShape(1, 3, 0, 8)
+
+    def test_with_batch(self):
+        shape = TensorShape(1, 3, 8, 8)
+        assert shape.with_batch(32) == TensorShape(32, 3, 8, 8)
+
+    def test_with_channels(self):
+        assert TensorShape(1, 3, 8, 8).with_channels(64).channels == 64
+
+    def test_with_spatial(self):
+        assert TensorShape(1, 3, 8, 8).with_spatial(4, 5) == TensorShape(1, 3, 4, 5)
+
+    def test_flattened_spatial(self):
+        assert TensorShape(2, 3, 4, 5).flattened() == TensorShape(2, 60)
+
+    def test_flattened_matrix_is_identity(self):
+        shape = TensorShape(2, 60)
+        assert shape.flattened() == shape
+
+    def test_str_and_parse_roundtrip_4d(self):
+        shape = TensorShape(1, 384, 15, 15)
+        assert TensorShape.parse(str(shape)) == shape
+
+    def test_str_and_parse_roundtrip_2d(self):
+        shape = TensorShape(8, 1000)
+        assert TensorShape.parse(str(shape)) == shape
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TensorShape.parse("1x2x3")
+
+    def test_hashable_and_equal(self):
+        assert hash(TensorShape(1, 3, 8, 8)) == hash(TensorShape(1, 3, 8, 8))
+        assert TensorShape(1, 3, 8, 8) != TensorShape(1, 3, 8, 9)
+
+    def test_concat_channels(self):
+        shapes = [TensorShape(1, 64, 8, 8), TensorShape(1, 32, 8, 8)]
+        assert TensorShape.concat_channels(shapes) == TensorShape(1, 96, 8, 8)
+
+    def test_concat_channels_rejects_spatial_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorShape.concat_channels([TensorShape(1, 64, 8, 8), TensorShape(1, 32, 7, 8)])
+
+    def test_concat_channels_rejects_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorShape.concat_channels([TensorShape(1, 64, 8, 8), TensorShape(2, 32, 8, 8)])
+
+    def test_concat_channels_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorShape.concat_channels([TensorShape(1, 64, 8, 8), TensorShape(1, 32)])
+
+    def test_concat_channels_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TensorShape.concat_channels([])
+
+    @given(
+        batch=st.integers(1, 256),
+        channels=st.integers(1, 4096),
+        height=st.integers(1, 512),
+        width=st.integers(1, 512),
+    )
+    def test_numel_is_product_property(self, batch, channels, height, width):
+        shape = TensorShape(batch, channels, height, width)
+        assert shape.numel() == batch * channels * height * width
+
+    @given(batch=st.integers(1, 64), channels=st.integers(1, 512))
+    def test_parse_str_roundtrip_property(self, batch, channels):
+        shape = TensorShape(batch, channels)
+        assert TensorShape.parse(str(shape)) == shape
+
+
+class TestConvPoolArithmetic:
+    def test_same_padding_preserves_size(self):
+        assert conv2d_output_hw(15, 15, (3, 3), (1, 1), (1, 1)) == (15, 15)
+
+    def test_stride_two_halves_size(self):
+        assert conv2d_output_hw(224, 224, (3, 3), (2, 2), (1, 1)) == (112, 112)
+
+    def test_valid_padding(self):
+        assert conv2d_output_hw(299, 299, (3, 3), (2, 2), (0, 0)) == (149, 149)
+
+    def test_conv_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            conv2d_output_hw(2, 2, (5, 5), (1, 1), (0, 0))
+
+    def test_pool_floor_vs_ceil(self):
+        assert pool2d_output_hw(7, 7, (2, 2), (2, 2), (0, 0)) == (3, 3)
+        assert pool2d_output_hw(7, 7, (2, 2), (2, 2), (0, 0), ceil_mode=True) == (4, 4)
+
+    def test_pool_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            pool2d_output_hw(2, 2, (5, 5), (2, 2), (0, 0))
+
+    @given(
+        size=st.integers(7, 256),
+        kernel=st.sampled_from([1, 3, 5, 7]),
+        stride=st.sampled_from([1, 2]),
+    )
+    def test_same_padding_formula_property(self, size, kernel, stride):
+        out_h, out_w = conv2d_output_hw(
+            size, size, (kernel, kernel), (stride, stride), (kernel // 2, kernel // 2)
+        )
+        expected = (size + 2 * (kernel // 2) - kernel) // stride + 1
+        assert out_h == out_w == expected
+        assert out_h >= 1
