@@ -8,7 +8,9 @@ The package is organised as:
 * :mod:`repro.models` — CNN model zoo (Inception V3, RandWire, NasNet-A, SqueezeNet, ...);
 * :mod:`repro.core` — the IOS dynamic-programming scheduler and baselines;
 * :mod:`repro.frameworks` — simulated baseline frameworks (TF, XLA, TASO, TVM, TensorRT);
-* :mod:`repro.experiments` — one harness per table/figure of the paper.
+* :mod:`repro.experiments` — one harness per table/figure of the paper;
+* :mod:`repro.serve` — batch-aware inference serving: persistent schedule
+  registry, dynamic batcher, simulated worker pool, synthetic traffic.
 
 Quick start::
 
@@ -36,7 +38,7 @@ from .core import (
     sequential_schedule,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TensorShape",

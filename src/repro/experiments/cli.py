@@ -1,11 +1,14 @@
 """Command-line entry point: ``ios-bench <experiment> [options]``.
 
 Runs any of the paper-reproduction experiments and prints its table; optionally
-writes CSV.  Example::
+writes CSV.  The ``serve`` subcommand instead runs the batch-aware inference
+service of :mod:`repro.serve` under synthetic traffic.  Examples::
 
     ios-bench figure6 --device v100
     ios-bench table3-batch --model inception_v3
     ios-bench all --quick --csv-dir results/
+    ios-bench serve --model inception_v3 --pattern poisson --requests 500
+    ios-bench serve --compare --registry-dir schedules/ --csv-dir results/
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ from .tab02_networks import run_table2
 from .tab03_specialization import run_table3_batch, run_table3_device
 from .tables import ExperimentTable
 
-__all__ = ["main", "EXPERIMENTS", "QUICK_MODELS"]
+__all__ = ["main", "serve_main", "EXPERIMENTS", "QUICK_MODELS"]
 
 #: Model subset used with ``--quick`` (fast enough for CI smoke runs).
 QUICK_MODELS = ["inception_v3", "squeezenet"]
@@ -69,12 +72,161 @@ def _experiments(quick: bool, device: str) -> dict[str, Callable[[], ExperimentT
 EXPERIMENTS = sorted(_experiments(quick=True, device="v100"))
 
 
+def _write_csv(table: ExperimentTable, csv_dir: str | None) -> None:
+    """Export ``table`` to ``<csv_dir>/<experiment_id>.csv`` when requested."""
+    if csv_dir is None:
+        return
+    path = Path(csv_dir) / f"{table.experiment_id}.csv"
+    table.to_csv(path)
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``ios-bench serve`` subcommand."""
+    # Imported lazily: repro.serve pulls in the whole serving stack, which the
+    # figure/table experiments never need.
+    from ..serve import (
+        BatchPolicy,
+        ServingConfig,
+        TrafficConfig,
+        run_serving,
+        run_serving_comparison,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="ios-bench serve",
+        description="Serve synthetic traffic with batch-size-specialised IOS schedules "
+        "on a pool of simulated devices.",
+    )
+    parser.add_argument("--model", default="inception_v3", help="model to serve")
+    parser.add_argument("--device", default="v100", help="device preset for the workers")
+    parser.add_argument("--num-workers", type=int, default=2,
+                        help="number of simulated devices in the pool")
+    parser.add_argument("--pattern", choices=["poisson", "bursty", "uniform"],
+                        default=None,
+                        help="synthetic arrival pattern (default: poisson; "
+                        "--compare runs poisson and bursty unless one is given)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="number of requests to generate")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="arrival rate in requests/second (poisson/uniform)")
+    parser.add_argument("--burst-size", type=int, default=16,
+                        help="requests per burst (bursty pattern)")
+    parser.add_argument("--burst-gap-ms", type=float, default=50.0,
+                        help="gap between bursts in ms (bursty pattern)")
+    parser.add_argument("--batch-sizes", default="1,2,4,8,16",
+                        help="comma-separated ladder of specialised batch sizes")
+    parser.add_argument("--max-wait-ms", type=float, default=None,
+                        help="dynamic batcher wait bound in ms (default: 5.0; "
+                        "meaningless with --no-batching)")
+    parser.add_argument("--variant", default="ios-both",
+                        choices=["ios-both", "ios-parallel", "ios-merge"],
+                        help="IOS variant compiled on registry misses")
+    parser.add_argument("--registry-dir", default=None,
+                        help="directory persisting optimised schedules across runs")
+    parser.add_argument("--seed", type=int, default=0, help="traffic seed")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="serve every request by itself (baseline)")
+    parser.add_argument("--compare", action="store_true",
+                        help="print the dynamic-vs-unbatched comparison table instead")
+    parser.add_argument("--csv-dir", default=None,
+                        help="directory to write the comparison CSV to (with --compare)")
+    args = parser.parse_args(argv)
+
+    if args.requests <= 0:
+        parser.error(f"--requests must be positive, got {args.requests}")
+    if args.num_workers <= 0:
+        parser.error(f"--num-workers must be positive, got {args.num_workers}")
+    if args.rate <= 0:
+        parser.error(f"--rate must be positive, got {args.rate}")
+    if args.burst_size <= 0:
+        parser.error(f"--burst-size must be positive, got {args.burst_size}")
+    if args.burst_gap_ms <= 0:
+        parser.error(f"--burst-gap-ms must be positive, got {args.burst_gap_ms}")
+    if args.max_wait_ms is not None and args.max_wait_ms < 0:
+        parser.error(f"--max-wait-ms must be non-negative, got {args.max_wait_ms}")
+    if args.max_wait_ms is not None and args.no_batching:
+        print("note: --no-batching serves every request immediately; "
+              "ignoring --max-wait-ms", file=sys.stderr)
+    max_wait_ms = 5.0 if args.max_wait_ms is None else args.max_wait_ms
+    try:
+        batch_sizes = tuple(int(part) for part in args.batch_sizes.split(",") if part.strip())
+    except ValueError:
+        parser.error(f"--batch-sizes must be comma-separated integers, got {args.batch_sizes!r}")
+    if not batch_sizes or any(size <= 0 for size in batch_sizes):
+        parser.error(f"--batch-sizes needs at least one positive size, got {args.batch_sizes!r}")
+    if len(set(batch_sizes)) != len(batch_sizes):
+        parser.error(f"--batch-sizes must not repeat a size, got {args.batch_sizes!r}")
+    if args.csv_dir is not None and not args.compare:
+        print("note: --csv-dir only writes the --compare table; ignoring it",
+              file=sys.stderr)
+    if args.compare:
+        if args.no_batching:
+            parser.error("--no-batching conflicts with --compare "
+                         "(the comparison already includes the unbatched baseline)")
+        table = run_serving_comparison(
+            model=args.model, device=args.device, num_workers=args.num_workers,
+            num_requests=args.requests, rate_rps=args.rate, batch_sizes=batch_sizes,
+            max_wait_ms=max_wait_ms,
+            patterns=(args.pattern,) if args.pattern else ("poisson", "bursty"),
+            burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
+            variant=args.variant, registry_root=args.registry_dir,
+            seed=args.seed,
+        )
+        print(table.to_text())
+        _write_csv(table, args.csv_dir)
+        return 0
+
+    traffic = TrafficConfig(
+        model=args.model, pattern=args.pattern or "poisson",
+        num_requests=args.requests, rate_rps=args.rate,
+        burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
+        seed=args.seed,
+    )
+    try:
+        capped = traffic.capped_to(max(batch_sizes))
+    except ValueError:
+        parser.error(
+            f"--batch-sizes maximum {max(batch_sizes)} cannot hold any request "
+            f"of the traffic sample mix {traffic.sample_sizes}"
+        )
+    if capped is not traffic:
+        print(
+            f"note: sample mix capped to the ladder maximum {max(batch_sizes)} "
+            f"(sizes {capped.sample_sizes} of {traffic.sample_sizes})",
+            file=sys.stderr,
+        )
+        traffic = capped
+    if args.no_batching:
+        serving = ServingConfig.unbatched(
+            model=args.model, devices=(args.device,) * args.num_workers,
+            batch_sizes=batch_sizes, variant=args.variant,
+            registry_root=args.registry_dir,
+        )
+    else:
+        serving = ServingConfig(
+            model=args.model, devices=(args.device,) * args.num_workers,
+            batch_sizes=batch_sizes,
+            policy=BatchPolicy(max_batch_size=max(batch_sizes),
+                               max_wait_ms=max_wait_ms),
+            variant=args.variant, registry_root=args.registry_dir,
+        )
+    report = run_serving(traffic, serving)
+    print(report.describe())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point (installed as ``ios-bench``)."""
+    """CLI entry point (installed as ``ios-bench`` and ``repro-experiments``)."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["serve"]:
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ios-bench",
         description="Reproduce tables and figures of 'IOS: Inter-Operator Scheduler for CNN "
         "Acceleration' on the simulated GPU.",
+        epilog="'ios-bench serve ...' (subcommand first) runs the inference "
+        "service instead of an experiment: ios-bench serve --help",
     )
     parser.add_argument(
         "experiment",
@@ -95,10 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         table = registry[name]()
         print(table.to_text())
         print()
-        if args.csv_dir is not None:
-            path = Path(args.csv_dir) / f"{table.experiment_id}.csv"
-            table.to_csv(path)
-            print(f"wrote {path}", file=sys.stderr)
+        _write_csv(table, args.csv_dir)
     return 0
 
 

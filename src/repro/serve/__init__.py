@@ -1,0 +1,81 @@
+"""repro.serve — batch-aware inference serving on the simulated runtime.
+
+The paper shows that inter-operator schedules specialised per batch size beat
+one-size-fits-all execution; this package turns that observation into an
+end-to-end inference service:
+
+* :mod:`repro.serve.registry` — :class:`ScheduleRegistry`, a disk-backed store
+  of optimised schedules keyed by ``(model, batch_size, device, variant)``
+  with lazy compile-on-miss;
+* :mod:`repro.serve.batcher` — :class:`DynamicBatcher` (max-batch/max-wait
+  request grouping) and :class:`BatchSizeSelector` (cross-evaluating schedule
+  choice, reusing the Table-3 specialisation logic);
+* :mod:`repro.serve.workers` — :class:`WorkerPool` dispatching lowered plans
+  across simulated devices;
+* :mod:`repro.serve.traffic` — reproducible Poisson / bursty / uniform
+  synthetic traffic;
+* :mod:`repro.serve.service` — :class:`InferenceService`, the composition
+  root, and :class:`ServingConfig`;
+* :mod:`repro.serve.metrics` — per-request records folded into a
+  :class:`ServingReport` (throughput, p50/p95/p99 latency, queue delay);
+* :mod:`repro.serve.experiment` — table-producing harnesses for the
+  ``ios-bench serve`` subcommand and the benchmark suite.
+
+Quick start::
+
+    from repro.serve import (
+        BatchPolicy, InferenceService, ServingConfig, TrafficConfig,
+        TrafficGenerator,
+    )
+
+    config = ServingConfig(model="inception_v3", devices=("v100", "v100"),
+                           registry_root="schedules/")
+    service = InferenceService(config)
+    service.warmup()                       # compile once; later runs load JSON
+    requests = TrafficGenerator(TrafficConfig(num_requests=500)).generate()
+    print(service.run(requests).describe())
+"""
+
+from .batcher import BatchPolicy, BatchSizeSelector, DynamicBatcher
+from .experiment import run_serving, run_serving_comparison
+from .metrics import LatencySummary, ServingReport, build_report, percentile
+from .registry import RegistryError, RegistryKey, RegistryStats, ScheduleRegistry
+from .request import FormedBatch, InferenceRequest, RequestRecord
+from .service import InferenceService, ServingConfig
+from .traffic import (
+    TrafficConfig,
+    TrafficGenerator,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from .workers import DispatchResult, Worker, WorkerPool
+
+__all__ = [
+    "BatchPolicy",
+    "BatchSizeSelector",
+    "DynamicBatcher",
+    "DispatchResult",
+    "FormedBatch",
+    "InferenceRequest",
+    "InferenceService",
+    "LatencySummary",
+    "RegistryError",
+    "RegistryKey",
+    "RegistryStats",
+    "RequestRecord",
+    "ScheduleRegistry",
+    "ServingConfig",
+    "ServingReport",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "Worker",
+    "WorkerPool",
+    "build_report",
+    "bursty_arrivals",
+    "percentile",
+    "poisson_arrivals",
+    "run_serving",
+    "run_serving_comparison",
+    "uniform_arrivals",
+]

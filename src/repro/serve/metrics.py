@@ -1,0 +1,150 @@
+"""Serving metrics: per-request accounting and aggregate reports.
+
+The serving loop produces one :class:`~repro.serve.request.RequestRecord` per
+request; :func:`build_report` folds them into the numbers a serving system is
+judged by — throughput (requests/s and samples/s), latency percentiles
+(p50/p95/p99), queue delay, batch-size distribution — plus the registry and
+worker statistics that explain *why* the numbers look the way they do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from .registry import RegistryStats
+from .request import RequestRecord
+
+__all__ = ["percentile", "LatencySummary", "ServingReport", "build_report"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Five-number summary of a latency distribution (milliseconds)."""
+
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        return cls(
+            mean_ms=sum(values) / len(values),
+            p50_ms=percentile(values, 50),
+            p95_ms=percentile(values, 95),
+            p99_ms=percentile(values, 99),
+            max_ms=max(values),
+        )
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        return {
+            f"{prefix}mean_ms": self.mean_ms,
+            f"{prefix}p50_ms": self.p50_ms,
+            f"{prefix}p95_ms": self.p95_ms,
+            f"{prefix}p99_ms": self.p99_ms,
+            f"{prefix}max_ms": self.max_ms,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Aggregate result of one serving run."""
+
+    num_requests: int
+    num_samples: int
+    num_batches: int
+    #: Wall-clock span of the run on the virtual clock, first arrival to last
+    #: completion, in milliseconds.
+    makespan_ms: float
+    throughput_rps: float
+    throughput_samples_per_s: float
+    latency: LatencySummary
+    queue_delay: LatencySummary
+    #: How many batches executed at each specialised batch size.
+    batch_size_counts: dict[int, int] = field(default_factory=dict)
+    #: Snapshot of the registry counters at the end of the run.
+    registry_stats: RegistryStats = field(default_factory=RegistryStats)
+    #: Per-worker accounting rows from the pool.
+    worker_summary: list[dict[str, object]] = field(default_factory=list)
+    records: list[RequestRecord] = field(default_factory=list)
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average samples per executed batch."""
+        if self.num_batches == 0:
+            return 0.0
+        return self.num_samples / self.num_batches
+
+    def describe(self) -> str:
+        """Human-readable multi-line report (what the CLI prints)."""
+        lines = [
+            f"served {self.num_requests} requests ({self.num_samples} samples) "
+            f"in {self.num_batches} batches over {self.makespan_ms:.2f} ms",
+            f"throughput: {self.throughput_rps:.1f} req/s, "
+            f"{self.throughput_samples_per_s:.1f} samples/s",
+            f"latency   : mean {self.latency.mean_ms:.3f}  p50 {self.latency.p50_ms:.3f}  "
+            f"p95 {self.latency.p95_ms:.3f}  p99 {self.latency.p99_ms:.3f}  "
+            f"max {self.latency.max_ms:.3f} ms",
+            f"queue     : mean {self.queue_delay.mean_ms:.3f}  "
+            f"p95 {self.queue_delay.p95_ms:.3f} ms",
+            f"batch mix : "
+            + ", ".join(
+                f"bs{size}×{count}" for size, count in sorted(self.batch_size_counts.items())
+            ),
+            f"registry  : {self.registry_stats.searches} searches, "
+            f"{self.registry_stats.disk_hits} disk hits, "
+            f"{self.registry_stats.memory_hits} memory hits",
+        ]
+        for row in self.worker_summary:
+            lines.append(
+                f"worker {row['worker']} ({row['device']}): {row['batches']} batches, "
+                f"{row['samples']} samples, {row['utilization']:.1%} busy"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    records: Sequence[RequestRecord],
+    num_batches: int,
+    batch_size_counts: dict[int, int],
+    registry_stats: RegistryStats,
+    worker_summary: list[dict[str, object]],
+) -> ServingReport:
+    """Fold per-request records into a :class:`ServingReport`."""
+    if not records:
+        raise ValueError("cannot build a serving report from zero records")
+    first_arrival = min(record.request.arrival_ms for record in records)
+    last_completion = max(record.completion_ms for record in records)
+    makespan_ms = max(last_completion - first_arrival, 1e-9)
+    num_samples = sum(record.request.num_samples for record in records)
+    return ServingReport(
+        num_requests=len(records),
+        num_samples=num_samples,
+        num_batches=num_batches,
+        makespan_ms=makespan_ms,
+        throughput_rps=len(records) / (makespan_ms / 1e3),
+        throughput_samples_per_s=num_samples / (makespan_ms / 1e3),
+        latency=LatencySummary.from_values([record.latency_ms for record in records]),
+        queue_delay=LatencySummary.from_values(
+            [record.queue_delay_ms for record in records]
+        ),
+        batch_size_counts=dict(sorted(batch_size_counts.items())),
+        # Copy: the registry keeps mutating its own counters when it is shared
+        # across runs, and the report promises a snapshot.
+        registry_stats=replace(registry_stats),
+        worker_summary=worker_summary,
+        records=list(records),
+    )

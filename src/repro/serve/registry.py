@@ -1,0 +1,257 @@
+"""Persistent schedule registry.
+
+The IOS search is far too expensive to run on the request path (seconds per
+network), while the schedules it produces are small JSON documents.  The
+registry bridges the two: optimised schedules are persisted to disk keyed by
+``(model, batch_size, device, variant)`` using the existing
+:meth:`~repro.core.schedule.Schedule.to_dict` machinery, loaded lazily, and
+compiled on a miss via :class:`~repro.core.dp_scheduler.IOSScheduler`.
+
+A warm registry turns serving start-up into pure ``json.load`` calls: the
+second run of any serving experiment performs **zero** scheduler searches
+(see :class:`RegistryStats`, which the end-to-end tests assert on).
+
+Layout on disk::
+
+    <root>/<model>/<device>__<variant>__bs<batch_size>.json
+
+Each file is exactly ``Schedule.to_dict()`` — readable, diffable, and
+loadable with :meth:`Schedule.load` outside the registry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..core.cost_model import SimulatedCostModel
+from ..core.dp_scheduler import IOSScheduler, SchedulerConfig
+from ..core.schedule import Schedule
+from ..hardware.device import DeviceSpec
+from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from ..ir.graph import Graph
+from ..models import build_model
+
+__all__ = ["RegistryKey", "RegistryStats", "RegistryError", "ScheduleRegistry"]
+
+
+@dataclass(frozen=True, order=True)
+class RegistryKey:
+    """Identity of one specialised schedule."""
+
+    model: str
+    batch_size: int
+    device: str
+    variant: str = "ios-both"
+
+    def filename(self) -> str:
+        return f"{self.device}__{self.variant}__bs{self.batch_size}.json"
+
+    @classmethod
+    def from_path(cls, model: str, path: Path) -> "RegistryKey":
+        device, variant, batch = path.stem.split("__")
+        if not batch.startswith("bs"):
+            raise ValueError(f"malformed registry filename: {path.name}")
+        return cls(model=model, batch_size=int(batch[2:]), device=device, variant=variant)
+
+
+class RegistryError(RuntimeError):
+    """Raised when a persisted registry entry cannot be used."""
+
+
+@dataclass
+class RegistryStats:
+    """Where schedule lookups were satisfied.
+
+    ``searches`` counts actual IOS scheduler runs — the expensive event the
+    registry exists to avoid.  A warm second run must report ``searches == 0``.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    searches: int = 0
+    corrupt_entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.searches
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "lookups": self.lookups,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "searches": self.searches,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+
+def _default_scheduler(device: DeviceSpec, profile: KernelProfile,
+                       variant: str) -> IOSScheduler:
+    return IOSScheduler(SimulatedCostModel(device, profile), SchedulerConfig.variant(variant))
+
+
+class ScheduleRegistry:
+    """Disk-backed cache of batch-size/device-specialised schedules.
+
+    Parameters
+    ----------
+    root:
+        Directory for persisted schedules.  ``None`` keeps the registry purely
+        in-memory (useful for unit tests); lookups then never touch disk.
+    profile:
+        Kernel-library profile used when a miss forces a scheduler search.
+    variant:
+        IOS variant compiled on a miss (``ios-both`` / ``ios-parallel`` /
+        ``ios-merge``).
+    graph_builder:
+        How to obtain the computation graph for ``(model, batch_size)``;
+        defaults to :func:`repro.models.build_model`.  Override to serve
+        graphs that are not in the model zoo.
+    scheduler_factory:
+        Override the scheduler used on a miss (tests inject counting or
+        failing schedulers here).
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        profile: KernelProfile = CUDNN_PROFILE,
+        variant: str = "ios-both",
+        graph_builder: Callable[[str, int], Graph] | None = None,
+        scheduler_factory: Callable[[DeviceSpec, KernelProfile, str], IOSScheduler] | None = None,
+    ):
+        self.root = Path(root) if root is not None else None
+        self.profile = profile
+        self.variant = variant
+        self._graph_builder = graph_builder or (
+            lambda model, batch_size: build_model(model, batch_size=batch_size)
+        )
+        self._scheduler_factory = scheduler_factory or _default_scheduler
+        self._cache: dict[RegistryKey, Schedule] = {}
+        self._graphs: dict[tuple[str, int], Graph] = {}
+        self.stats = RegistryStats()
+
+    # ----------------------------------------------------------------- helpers
+    def key(self, model: str, batch_size: int, device: DeviceSpec | str) -> RegistryKey:
+        device_name = device if isinstance(device, str) else device.name
+        return RegistryKey(model=model, batch_size=batch_size, device=device_name,
+                           variant=self.variant)
+
+    def path_for(self, key: RegistryKey) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / key.model / key.filename()
+
+    def graph_for(self, model: str, batch_size: int) -> Graph:
+        """The computation graph for ``model`` at ``batch_size`` (cached)."""
+        cache_key = (model, batch_size)
+        if cache_key not in self._graphs:
+            self._graphs[cache_key] = self._graph_builder(model, batch_size)
+        return self._graphs[cache_key]
+
+    # ----------------------------------------------------------------- lookups
+    def get(self, model: str, batch_size: int, device: DeviceSpec) -> Schedule:
+        """Fetch the specialised schedule, compiling and persisting on a miss."""
+        key = self.key(model, batch_size, device)
+        schedule = self._cache.get(key)
+        if schedule is not None:
+            self.stats.memory_hits += 1
+            return schedule
+
+        schedule = self._load(key)
+        if schedule is not None:
+            self.stats.disk_hits += 1
+            self._cache[key] = schedule
+            return schedule
+
+        schedule = self._compile(key, device)
+        self._cache[key] = schedule
+        self._persist(key, schedule)
+        return schedule
+
+    def put(self, model: str, batch_size: int, device: DeviceSpec | str,
+            schedule: Schedule) -> None:
+        """Insert a schedule produced elsewhere (e.g. by an offline sweep)."""
+        key = self.key(model, batch_size, device)
+        self._cache[key] = schedule
+        self._persist(key, schedule)
+
+    def contains(self, model: str, batch_size: int, device: DeviceSpec | str) -> bool:
+        key = self.key(model, batch_size, device)
+        if key in self._cache:
+            return True
+        path = self.path_for(key)
+        return path is not None and path.exists()
+
+    def warmup(self, model: str, batch_sizes: Iterable[int], device: DeviceSpec) -> None:
+        """Eagerly resolve a set of batch sizes (start-up precompilation)."""
+        for batch_size in batch_sizes:
+            self.get(model, batch_size, device)
+
+    def cached_batch_sizes(self, model: str, device: DeviceSpec | str) -> list[int]:
+        """Batch sizes with a resolvable entry for ``(model, device)``."""
+        device_name = device if isinstance(device, str) else device.name
+        sizes = {
+            key.batch_size
+            for key in self._cache
+            if key.model == model and key.device == device_name and key.variant == self.variant
+        }
+        if self.root is not None:
+            model_dir = self.root / model
+            if model_dir.is_dir():
+                for path in model_dir.glob(f"{device_name}__{self.variant}__bs*.json"):
+                    try:
+                        sizes.add(RegistryKey.from_path(model, path).batch_size)
+                    except ValueError:
+                        continue
+        return sorted(sizes)
+
+    def keys(self) -> list[RegistryKey]:
+        """All keys resolvable without a search (memory plus disk)."""
+        found = set(self._cache)
+        if self.root is not None and self.root.is_dir():
+            for model_dir in self.root.iterdir():
+                if not model_dir.is_dir():
+                    continue
+                for path in model_dir.glob("*.json"):
+                    try:
+                        found.add(RegistryKey.from_path(model_dir.name, path))
+                    except ValueError:
+                        continue
+        return sorted(found)
+
+    # ------------------------------------------------------------ persistence
+    def _load(self, key: RegistryKey) -> Schedule | None:
+        path = self.path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            schedule = Schedule.load(path)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # A truncated or hand-edited file must not take the service down
+            # (TypeError covers valid JSON of the wrong shape, e.g. a list):
+            # drop the entry and fall through to a fresh search.
+            self.stats.corrupt_entries += 1
+            path.unlink(missing_ok=True)
+            return None
+        expected_graph = self.graph_for(key.model, key.batch_size)
+        if schedule.graph_name != expected_graph.name:
+            raise RegistryError(
+                f"registry entry {path} holds a schedule for graph "
+                f"{schedule.graph_name!r}, expected {expected_graph.name!r}"
+            )
+        return schedule
+
+    def _persist(self, key: RegistryKey, schedule: Schedule) -> None:
+        path = self.path_for(key)
+        if path is not None:
+            schedule.save(path)
+
+    def _compile(self, key: RegistryKey, device: DeviceSpec) -> Schedule:
+        self.stats.searches += 1
+        graph = self.graph_for(key.model, key.batch_size)
+        scheduler = self._scheduler_factory(device, self.profile, self.variant)
+        return scheduler.optimize_graph(graph).schedule

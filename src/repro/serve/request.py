@@ -1,0 +1,99 @@
+"""Request and batch data types for the serving subsystem.
+
+A request is one inference demand: ``num_samples`` images of one model that
+arrived at ``arrival_ms`` on the service's virtual clock.  The dynamic batcher
+(:mod:`repro.serve.batcher`) groups requests into :class:`FormedBatch` objects;
+the service annotates each request with its timeline as it moves through the
+pipeline and exposes the finished record as :class:`RequestRecord`.
+
+All times are milliseconds on a single virtual clock that starts at 0 when the
+traffic generator emits its first request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["InferenceRequest", "FormedBatch", "RequestRecord"]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One inference demand entering the service."""
+
+    request_id: int
+    model: str
+    #: Arrival time on the virtual clock, in milliseconds.
+    arrival_ms: float
+    #: Number of samples (images) this request carries.  Mixed per-request
+    #: sample counts are what make batch-size demand dynamic.
+    num_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {self.num_samples}")
+        if self.arrival_ms < 0:
+            raise ValueError(f"arrival_ms must be non-negative, got {self.arrival_ms}")
+
+
+@dataclass
+class FormedBatch:
+    """A group of requests the batcher decided to execute together."""
+
+    requests: list[InferenceRequest] = field(default_factory=list)
+    #: Virtual time at which the batcher closed this batch.
+    formed_ms: float = 0.0
+    #: Why the batch was closed: "full", "timeout" or "drain".
+    close_reason: str = "drain"
+
+    @property
+    def num_samples(self) -> int:
+        return sum(request.num_samples for request in self.requests)
+
+    @property
+    def model(self) -> str:
+        return self.requests[0].model
+
+    @property
+    def oldest_arrival_ms(self) -> float:
+        return min(request.arrival_ms for request in self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class RequestRecord:
+    """A finished request with its full timeline.
+
+    ``queue_delay_ms`` covers batching *and* waiting for a free worker;
+    ``latency_ms`` is the end-to-end number a client would observe.
+    """
+
+    request: InferenceRequest
+    #: When the batch containing this request was closed by the batcher.
+    batched_ms: float
+    #: When the batch started executing on a worker.
+    dispatch_ms: float
+    #: When the batch finished executing.
+    completion_ms: float
+    #: Batch size (samples) the schedule was specialised for.
+    executed_batch_size: int
+    #: Worker that executed the batch.
+    worker_id: int
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completion_ms - self.request.arrival_ms
+
+    @property
+    def queue_delay_ms(self) -> float:
+        return self.dispatch_ms - self.request.arrival_ms
+
+    @property
+    def batching_delay_ms(self) -> float:
+        return self.batched_ms - self.request.arrival_ms
+
+    @property
+    def service_time_ms(self) -> float:
+        return self.completion_ms - self.dispatch_ms

@@ -1,0 +1,187 @@
+"""The inference service: batcher → registry → worker pool.
+
+:class:`InferenceService` is the composition root of the serving subsystem.
+One call to :meth:`InferenceService.run` replays a request stream through the
+full pipeline on the virtual clock:
+
+1. the :class:`~repro.serve.batcher.DynamicBatcher` groups arrivals under the
+   max-batch/max-wait policy;
+2. each formed batch picks the earliest-available worker, then the
+   :class:`~repro.serve.batcher.BatchSizeSelector` picks the best
+   batch-size-specialised schedule for that worker's device from the
+   :class:`~repro.serve.registry.ScheduleRegistry` (compiling on a cold miss,
+   loading from disk on a warm one);
+3. the :class:`~repro.serve.workers.WorkerPool` executes the lowered plan on
+   the simulated device and the per-request timeline is recorded.
+
+The result is a :class:`~repro.serve.metrics.ServingReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hardware.device import get_device
+from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from .batcher import BatchPolicy, BatchSizeSelector, DynamicBatcher
+from .metrics import ServingReport, build_report
+from .registry import ScheduleRegistry
+from .request import FormedBatch, InferenceRequest, RequestRecord
+from .workers import WorkerPool
+
+__all__ = ["ServingConfig", "InferenceService"]
+
+
+#: Default ladder of batch sizes the registry specialises schedules for.
+DEFAULT_BATCH_SIZES = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of one inference service instance."""
+
+    model: str = "inception_v3"
+    #: One worker per entry; repeat a name for replicas, mix names for a
+    #: heterogeneous pool.
+    devices: tuple[str, ...] = ("v100",)
+    #: Batch-size ladder the registry specialises schedules for.
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES
+    policy: BatchPolicy = BatchPolicy()
+    #: IOS variant compiled on registry misses.
+    variant: str = "ios-both"
+    #: Directory for persisted schedules; ``None`` keeps the registry in memory.
+    registry_root: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("serving needs at least one device")
+        if not self.batch_sizes:
+            raise ValueError("batch_sizes ladder must not be empty")
+
+    @classmethod
+    def unbatched(cls, **overrides) -> "ServingConfig":
+        """A no-batching baseline: every request executes by itself."""
+        overrides.setdefault("policy", BatchPolicy(max_batch_size=1, max_wait_ms=0.0))
+        return cls(**overrides)
+
+
+class InferenceService:
+    """End-to-end serving loop over the simulated runtime."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        registry: ScheduleRegistry | None = None,
+        profile: KernelProfile = CUDNN_PROFILE,
+    ):
+        self.config = config
+        self.profile = profile
+        self.registry = registry or ScheduleRegistry(
+            root=config.registry_root, profile=profile, variant=config.variant
+        )
+        self.pool = WorkerPool(
+            [get_device(name) for name in config.devices], profile=profile
+        )
+        self.batcher = DynamicBatcher(config.policy)
+        self.selector = BatchSizeSelector(
+            self.registry, config.batch_sizes, profile=profile,
+            measure=self.pool.plan_latency_for,
+        )
+
+    # ------------------------------------------------------------------ warmup
+    def warmup(self) -> None:
+        """Resolve every (ladder rung × device) schedule before taking traffic.
+
+        On a cold registry this performs the scheduler searches up front; on a
+        warm one it is pure JSON loading.  Serving without warmup is also
+        fine — misses are compiled lazily on the request path.
+        """
+        for device in self.pool.devices:
+            self.registry.warmup(self.config.model, self.config.batch_sizes, device)
+
+    # --------------------------------------------------------------------- run
+    def run(self, requests: Sequence[InferenceRequest]) -> ServingReport:
+        """Serve ``requests`` and report per-request latency plus throughput."""
+        if not requests:
+            raise ValueError("cannot serve an empty request list")
+        for request in requests:
+            if request.model != self.config.model:
+                raise ValueError(
+                    f"request {request.request_id} is for model {request.model!r}; "
+                    f"this service serves {self.config.model!r}"
+                )
+            if request.num_samples > self.selector.max_batch_size:
+                raise ValueError(
+                    f"request {request.request_id} carries {request.num_samples} "
+                    f"samples but the largest specialised batch size is "
+                    f"{self.selector.max_batch_size}"
+                )
+        ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+
+        records: list[RequestRecord] = []
+        batch_size_counts: dict[int, int] = {}
+        num_executions = 0
+        for batch in self.batcher.iter_batches(ordered):
+            for chunk in self._chunk(batch):
+                num_executions += 1
+                self._execute_chunk(batch, chunk, records, batch_size_counts)
+
+        return build_report(
+            records=records,
+            num_batches=num_executions,
+            batch_size_counts=batch_size_counts,
+            registry_stats=self.registry.stats,
+            worker_summary=self.pool.summary(),
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _chunk(self, batch: FormedBatch) -> list[list[InferenceRequest]]:
+        """Split a formed batch so each chunk fits the ladder maximum.
+
+        The batcher may form a batch larger than the biggest specialised
+        schedule (a single oversized request, or a policy whose
+        ``max_batch_size`` exceeds the ladder).  Requests are packed
+        first-come-first-served; a request never spans two executions.
+        """
+        limit = self.selector.max_batch_size
+        chunks: list[list[InferenceRequest]] = []
+        current: list[InferenceRequest] = []
+        current_samples = 0
+        for request in batch.requests:
+            if current and current_samples + request.num_samples > limit:
+                chunks.append(current)
+                current, current_samples = [], 0
+            current.append(request)
+            current_samples += request.num_samples
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _execute_chunk(
+        self,
+        batch: FormedBatch,
+        chunk: list[InferenceRequest],
+        records: list[RequestRecord],
+        batch_size_counts: dict[int, int],
+    ) -> None:
+        num_samples = sum(request.num_samples for request in chunk)
+        worker = self.pool.next_worker(batch.formed_ms)
+        rung = self.selector.select(self.config.model, num_samples, worker.device)
+        graph = self.registry.graph_for(self.config.model, rung)
+        schedule = self.registry.get(self.config.model, rung, worker.device)
+        dispatch = self.pool.dispatch(
+            graph, schedule, worker, ready_ms=batch.formed_ms, num_samples=num_samples
+        )
+        batch_size_counts[rung] = batch_size_counts.get(rung, 0) + 1
+        for request in chunk:
+            records.append(
+                RequestRecord(
+                    request=request,
+                    batched_ms=batch.formed_ms,
+                    dispatch_ms=dispatch.start_ms,
+                    completion_ms=dispatch.end_ms,
+                    executed_batch_size=rung,
+                    worker_id=dispatch.worker_id,
+                )
+            )

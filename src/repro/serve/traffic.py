@@ -1,0 +1,161 @@
+"""Synthetic traffic generation.
+
+Serving experiments need reproducible load.  Two arrival processes cover the
+regimes the paper's specialisation study cares about:
+
+* **Poisson** — independent arrivals at a target rate, the standard model of
+  aggregate user traffic; inter-arrival gaps are exponential.
+* **Bursty** — arrivals clumped into bursts separated by idle gaps, the worst
+  case for a fixed schedule and the best case for batching.
+
+Per-request sample counts are drawn from a weighted mix (e.g. mostly single
+images with occasional multi-image requests), which is what exercises
+batch-size-specialised schedules.  Everything is driven by one
+``random.Random(seed)`` so a seed fully determines the workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from .request import InferenceRequest
+
+__all__ = ["TrafficConfig", "TrafficGenerator", "poisson_arrivals", "bursty_arrivals",
+           "uniform_arrivals"]
+
+
+def poisson_arrivals(num_requests: int, rate_rps: float, rng: random.Random) -> list[float]:
+    """Arrival times (ms) of a Poisson process at ``rate_rps`` requests/second."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    now = 0.0
+    arrivals = []
+    for _ in range(num_requests):
+        now += rng.expovariate(rate_rps) * 1e3
+        arrivals.append(now)
+    return arrivals
+
+
+def bursty_arrivals(
+    num_requests: int,
+    burst_size: int,
+    burst_gap_ms: float,
+    rng: random.Random,
+    intra_burst_ms: float = 0.2,
+) -> list[float]:
+    """Arrival times (ms) of bursts of ``burst_size`` back-to-back requests.
+
+    Requests within a burst are ``intra_burst_ms`` apart (jittered ±50%);
+    bursts start ``burst_gap_ms`` apart (also jittered) — think periodic
+    batch jobs or synchronised clients.  When a burst's own span outlasts the
+    gap, the next burst starts right where the previous one ended, keeping
+    the arrival sequence monotonic (the batcher's input contract).
+    """
+    if burst_size <= 0:
+        raise ValueError(f"burst_size must be positive, got {burst_size}")
+    if burst_gap_ms <= 0:
+        raise ValueError(f"burst_gap_ms must be positive, got {burst_gap_ms}")
+    arrivals: list[float] = []
+    burst_start = 0.0
+    while len(arrivals) < num_requests:
+        now = burst_start
+        for _ in range(min(burst_size, num_requests - len(arrivals))):
+            arrivals.append(now)
+            now += intra_burst_ms * (0.5 + rng.random())
+        burst_start = max(burst_start + burst_gap_ms * (0.5 + rng.random()), now)
+    return arrivals
+
+
+def uniform_arrivals(num_requests: int, rate_rps: float, rng: random.Random) -> list[float]:
+    """Evenly spaced arrivals at ``rate_rps`` (a deterministic control pattern)."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    gap_ms = 1e3 / rate_rps
+    return [index * gap_ms for index in range(num_requests)]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """One reproducible synthetic workload."""
+
+    model: str = "inception_v3"
+    pattern: str = "poisson"
+    num_requests: int = 200
+    #: Target arrival rate for poisson/uniform patterns, requests per second.
+    rate_rps: float = 200.0
+    #: Burst shape for the bursty pattern.
+    burst_size: int = 16
+    burst_gap_ms: float = 50.0
+    #: Candidate per-request sample counts and their weights (mixed demand).
+    sample_sizes: tuple[int, ...] = (1, 2, 4)
+    sample_weights: tuple[float, ...] = (0.6, 0.25, 0.15)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("poisson", "bursty", "uniform"):
+            raise ValueError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                "choose from poisson, bursty, uniform"
+            )
+        if self.num_requests <= 0:
+            raise ValueError(f"num_requests must be positive, got {self.num_requests}")
+        if len(self.sample_sizes) != len(self.sample_weights):
+            raise ValueError("sample_sizes and sample_weights must have equal length")
+        if not self.sample_sizes:
+            raise ValueError("sample_sizes must not be empty")
+
+    def capped_to(self, max_samples: int) -> "TrafficConfig":
+        """A copy whose per-request sample counts all fit ``max_samples``.
+
+        Use this to fit a workload to a service whose batch-size ladder tops
+        out below the default sample mix (a request larger than the ladder
+        maximum cannot be served).  Oversized entries are dropped from the
+        mix; the remaining weights keep their relative proportions.
+        """
+        pairs = [
+            (size, weight)
+            for size, weight in zip(self.sample_sizes, self.sample_weights)
+            if size <= max_samples
+        ]
+        if not pairs:
+            raise ValueError(
+                f"no sample size in {self.sample_sizes} fits max_samples={max_samples}"
+            )
+        if len(pairs) == len(self.sample_sizes):
+            return self
+        sizes, weights = zip(*pairs)
+        return replace(self, sample_sizes=sizes, sample_weights=weights)
+
+
+class TrafficGenerator:
+    """Turns a :class:`TrafficConfig` into a sorted request list."""
+
+    def __init__(self, config: TrafficConfig):
+        self.config = config
+
+    def generate(self) -> list[InferenceRequest]:
+        config = self.config
+        rng = random.Random(config.seed)
+        if config.pattern == "poisson":
+            arrivals = poisson_arrivals(config.num_requests, config.rate_rps, rng)
+        elif config.pattern == "bursty":
+            arrivals = bursty_arrivals(
+                config.num_requests, config.burst_size, config.burst_gap_ms, rng
+            )
+        else:
+            arrivals = uniform_arrivals(config.num_requests, config.rate_rps, rng)
+
+        sizes = rng.choices(
+            list(config.sample_sizes), weights=list(config.sample_weights),
+            k=config.num_requests,
+        )
+        return [
+            InferenceRequest(
+                request_id=index,
+                model=config.model,
+                arrival_ms=arrival,
+                num_samples=size,
+            )
+            for index, (arrival, size) in enumerate(zip(arrivals, sizes))
+        ]

@@ -1,0 +1,190 @@
+"""Worker pool: dispatching lowered plans across simulated devices.
+
+Each worker wraps one simulated :class:`~repro.hardware.device.DeviceSpec`
+with an :class:`~repro.runtime.executor.Executor` and a ``busy_until_ms``
+horizon on the shared virtual clock.  Dispatch picks the worker that can
+*start* the batch earliest (ties broken by id, so a homogeneous pool is
+deterministic), executes the plan on the simulated device, and returns the
+batch timeline.
+
+Plans are lowered once per ``(model, batch size, device)`` and memoised —
+in steady state a dispatch is one simulated execution, no lowering and no
+scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.lowering import lower_schedule
+from ..core.schedule import Schedule
+from ..hardware.device import DeviceSpec
+from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from ..ir.graph import Graph
+from ..runtime.executor import ExecutionPlan, Executor
+
+__all__ = ["Worker", "DispatchResult", "WorkerPool"]
+
+
+@dataclass
+class Worker:
+    """One simulated device plus its execution horizon."""
+
+    worker_id: int
+    device: DeviceSpec
+    executor: Executor
+    busy_until_ms: float = 0.0
+    batches_executed: int = 0
+    samples_executed: int = 0
+    busy_ms: float = 0.0
+
+    def utilization(self, makespan_ms: float) -> float:
+        """Fraction of the run this worker spent executing batches."""
+        if makespan_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_ms / makespan_ms)
+
+
+@dataclass
+class DispatchResult:
+    """Timeline of one batch execution on a worker."""
+
+    worker_id: int
+    device: str
+    #: When the batch became ready for dispatch (batcher close time).
+    ready_ms: float
+    #: When the batch started executing (>= ready_ms and >= worker horizon).
+    start_ms: float
+    #: When the batch finished executing.
+    end_ms: float
+    #: Simulated device latency of the plan itself.
+    execution_ms: float
+
+    @property
+    def wait_for_worker_ms(self) -> float:
+        return self.start_ms - self.ready_ms
+
+
+class WorkerPool:
+    """A pool of simulated devices executing lowered plans.
+
+    Parameters
+    ----------
+    devices:
+        One entry per worker.  Repeat a spec to model replicas of the same
+        GPU; mix specs for a heterogeneous pool.
+    profile:
+        Kernel-library profile shared by all executors.
+    """
+
+    def __init__(self, devices: Sequence[DeviceSpec], profile: KernelProfile = CUDNN_PROFILE):
+        if not devices:
+            raise ValueError("worker pool needs at least one device")
+        self.profile = profile
+        self.workers = [
+            Worker(worker_id=index, device=device, executor=Executor(device, profile))
+            for index, device in enumerate(devices)
+        ]
+        #: Lowered-plan cache keyed by (graph name, batch size, device name,
+        #: schedule origin) — lowering validates and rebuilds merged operators,
+        #: so it is worth skipping on the request path.
+        self._plan_cache: dict[tuple[str, int, str, str], ExecutionPlan] = {}
+        #: Measured plan latency per cache key (simulation is deterministic).
+        self._latency_cache: dict[tuple[str, int, str, str], float] = {}
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    @property
+    def devices(self) -> list[DeviceSpec]:
+        return [worker.device for worker in self.workers]
+
+    # ---------------------------------------------------------------- dispatch
+    def next_worker(self, ready_ms: float) -> Worker:
+        """The worker a batch ready at ``ready_ms`` should go to.
+
+        Workers are compared by earliest possible *start* (ties broken by id
+        for determinism); heterogeneous completion time is handled by the
+        caller choosing the schedule for the chosen worker's device.
+        """
+        return min(
+            self.workers,
+            key=lambda worker: (max(worker.busy_until_ms, ready_ms), worker.worker_id),
+        )
+
+    def plan_latency_ms(self, graph: Graph, schedule: Schedule, worker: Worker) -> float:
+        """Deterministic execution latency of the plan on the worker's device."""
+        key = self._plan_key(graph, schedule, worker)
+        if key not in self._latency_cache:
+            plan = self._plan(key, graph, schedule)
+            self._latency_cache[key] = worker.executor.run(plan).latency_ms
+        return self._latency_cache[key]
+
+    def plan_latency_for(self, graph: Graph, schedule: Schedule, device: DeviceSpec) -> float:
+        """Plan latency on whichever worker runs ``device`` (they are identical).
+
+        Lets schedule selection share the pool's lowered-plan/latency caches
+        instead of lowering and simulating the same plan a second time.
+        """
+        for worker in self.workers:
+            if worker.device.name == device.name:
+                return self.plan_latency_ms(graph, schedule, worker)
+        raise ValueError(f"no worker in the pool runs device {device.name!r}")
+
+    def dispatch(
+        self,
+        graph: Graph,
+        schedule: Schedule,
+        worker: Worker,
+        ready_ms: float,
+        num_samples: int | None = None,
+    ) -> DispatchResult:
+        """Execute ``schedule`` for ``graph`` on ``worker``, advancing its horizon.
+
+        ``num_samples`` is the real demand carried by the batch; it defaults to
+        the graph's (possibly padded) batch size.
+        """
+        execution_ms = self.plan_latency_ms(graph, schedule, worker)
+        start_ms = max(worker.busy_until_ms, ready_ms)
+        end_ms = start_ms + execution_ms
+        worker.busy_until_ms = end_ms
+        worker.batches_executed += 1
+        worker.samples_executed += graph.batch_size if num_samples is None else num_samples
+        worker.busy_ms += execution_ms
+        return DispatchResult(
+            worker_id=worker.worker_id,
+            device=worker.device.name,
+            ready_ms=ready_ms,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            execution_ms=execution_ms,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _plan_key(self, graph: Graph, schedule: Schedule, worker: Worker) -> tuple[str, int, str, str]:
+        return (graph.name, graph.batch_size, worker.device.name, schedule.origin)
+
+    def _plan(self, key: tuple[str, int, str, str], graph: Graph, schedule: Schedule) -> ExecutionPlan:
+        if key not in self._plan_cache:
+            self._plan_cache[key] = lower_schedule(graph, schedule)
+        return self._plan_cache[key]
+
+    def makespan_ms(self) -> float:
+        """Latest completion over all workers."""
+        return max(worker.busy_until_ms for worker in self.workers)
+
+    def summary(self) -> list[dict[str, object]]:
+        """Per-worker accounting rows for reports."""
+        makespan = self.makespan_ms()
+        return [
+            {
+                "worker": worker.worker_id,
+                "device": worker.device.name,
+                "batches": worker.batches_executed,
+                "samples": worker.samples_executed,
+                "busy_ms": worker.busy_ms,
+                "utilization": worker.utilization(makespan),
+            }
+            for worker in self.workers
+        ]

@@ -35,3 +35,80 @@ class TestCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestServeCLI:
+    SERVE_ARGS = [
+        "serve", "--model", "squeezenet", "--requests", "60", "--rate", "400",
+        "--batch-sizes", "1,2,4",
+    ]
+
+    def test_serve_prints_a_report(self, capsys):
+        assert main(self.SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "served 60 requests" in out
+        assert "throughput" in out
+        assert "registry" in out
+
+    def test_serve_persists_schedules_across_invocations(self, capsys, tmp_path):
+        args = self.SERVE_ARGS + ["--registry-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 disk hits" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "registry  : 0 searches" in second
+
+    def test_serve_compare_writes_csv(self, capsys, tmp_path):
+        assert main([
+            "serve", "--compare", "--model", "squeezenet", "--requests", "40",
+            "--batch-sizes", "1,2,4", "--csv-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic" in out and "unbatched" in out
+        assert (tmp_path / "serving_comparison.csv").exists()
+
+    def test_serve_no_batching_flag(self, capsys):
+        assert main(self.SERVE_ARGS + ["--no-batching"]) == 0
+        out = capsys.readouterr().out
+        # Every request executes alone: as many batches as requests.
+        assert "in 60 batches" in out
+
+    def test_serve_rejects_unknown_pattern(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--pattern", "lumpy"])
+
+    def test_serve_caps_traffic_to_a_small_ladder(self, capsys):
+        # The default sample mix includes 4-sample requests; a ladder topping
+        # out at 2 must cap the mix instead of crashing after warmup.
+        assert main([
+            "serve", "--model", "squeezenet", "--requests", "30",
+            "--batch-sizes", "1,2",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "served 30 requests" in captured.out
+        assert "capped to the ladder maximum 2" in captured.err
+
+    @pytest.mark.parametrize("bad", [
+        ["--requests", "0"],
+        ["--num-workers", "0"],
+        ["--rate", "0"],
+        ["--burst-size", "0"],
+        ["--burst-gap-ms", "0"],
+        ["--max-wait-ms", "-1"],
+        ["--batch-sizes", "1,2,2"],
+        ["--compare", "--no-batching"],
+    ])
+    def test_serve_rejects_bad_arguments_cleanly(self, bad):
+        with pytest.raises(SystemExit):
+            main(["serve"] + bad)
+
+    def test_serve_compare_forwards_pattern(self, capsys):
+        assert main([
+            "serve", "--compare", "--model", "squeezenet", "--requests", "40",
+            "--batch-sizes", "1,2,4", "--pattern", "uniform",
+        ]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines()
+                if line.startswith(("poisson", "bursty", "uniform"))]
+        assert rows and all(row.startswith("uniform") for row in rows)

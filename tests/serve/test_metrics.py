@@ -1,0 +1,85 @@
+"""Tests for serving metrics aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import InferenceRequest, RequestRecord, build_report, percentile
+from repro.serve.registry import RegistryStats
+
+
+def record(request_id: int, arrival: float, completed: float,
+           dispatched: float | None = None) -> RequestRecord:
+    dispatched = arrival if dispatched is None else dispatched
+    return RequestRecord(
+        request=InferenceRequest(request_id=request_id, model="m", arrival_ms=arrival),
+        batched_ms=dispatched,
+        dispatch_ms=dispatched,
+        completion_ms=completed,
+        executed_batch_size=1,
+        worker_id=0,
+    )
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestBuildReport:
+    def test_throughput_uses_the_full_span(self):
+        records = [record(0, 0.0, 50.0), record(1, 100.0, 200.0)]
+        report = build_report(records, num_batches=2, batch_size_counts={1: 2},
+                              registry_stats=RegistryStats(), worker_summary=[])
+        # 2 requests over 200 ms of virtual time.
+        assert report.throughput_rps == pytest.approx(10.0)
+        assert report.makespan_ms == pytest.approx(200.0)
+
+    def test_latency_and_queue_delay_summaries(self):
+        records = [
+            record(0, 0.0, 4.0, dispatched=1.0),
+            record(1, 0.0, 8.0, dispatched=2.0),
+        ]
+        report = build_report(records, num_batches=2, batch_size_counts={1: 2},
+                              registry_stats=RegistryStats(), worker_summary=[])
+        assert report.latency.mean_ms == pytest.approx(6.0)
+        assert report.latency.max_ms == pytest.approx(8.0)
+        assert report.queue_delay.mean_ms == pytest.approx(1.5)
+
+    def test_mean_batch_occupancy(self):
+        records = [record(i, 0.0, 1.0) for i in range(6)]
+        report = build_report(records, num_batches=2, batch_size_counts={4: 1, 2: 1},
+                              registry_stats=RegistryStats(), worker_summary=[])
+        assert report.mean_batch_occupancy == pytest.approx(3.0)
+        assert list(report.batch_size_counts) == [2, 4]
+
+    def test_describe_mentions_the_headline_numbers(self):
+        records = [record(0, 0.0, 2.0)]
+        report = build_report(records, num_batches=1, batch_size_counts={1: 1},
+                              registry_stats=RegistryStats(searches=3),
+                              worker_summary=[{"worker": 0, "device": "v100",
+                                              "batches": 1, "samples": 1,
+                                              "busy_ms": 2.0, "utilization": 1.0}])
+        text = report.describe()
+        assert "1 requests" in text
+        assert "3 searches" in text
+        assert "worker 0 (v100)" in text
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            build_report([], num_batches=0, batch_size_counts={},
+                         registry_stats=RegistryStats(), worker_summary=[])

@@ -1,0 +1,132 @@
+"""Tests for the persistent schedule registry."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import Schedule, Stage
+from repro.models import chain_graph
+from repro.serve import RegistryError, RegistryKey, ScheduleRegistry
+
+
+def chain_builder(model: str, batch_size: int):
+    return chain_graph(length=3, batch_size=batch_size)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+
+
+class TestLookupPath:
+    def test_miss_compiles_then_memory_hits(self, registry, v100):
+        schedule = registry.get("m", 1, v100)
+        assert registry.stats.searches == 1
+        again = registry.get("m", 1, v100)
+        assert again is schedule
+        assert registry.stats.memory_hits == 1
+        assert registry.stats.searches == 1
+
+    def test_compiled_schedule_is_persisted_and_reloaded(self, registry, tmp_path, v100):
+        schedule = registry.get("m", 2, v100)
+        path = registry.path_for(registry.key("m", 2, v100))
+        assert path.exists()
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        reloaded = fresh.get("m", 2, v100)
+        assert fresh.stats.searches == 0
+        assert fresh.stats.disk_hits == 1
+        assert reloaded == schedule
+
+    def test_distinct_keys_get_distinct_entries(self, registry, v100, k80):
+        registry.get("m", 1, v100)
+        registry.get("m", 2, v100)
+        registry.get("m", 1, k80)
+        assert registry.stats.searches == 3
+        assert registry.cached_batch_sizes("m", v100) == [1, 2]
+        assert registry.cached_batch_sizes("m", k80) == [1]
+
+    def test_in_memory_registry_never_touches_disk(self, v100):
+        registry = ScheduleRegistry(root=None, graph_builder=chain_builder)
+        registry.get("m", 1, v100)
+        assert registry.path_for(registry.key("m", 1, v100)) is None
+        assert registry.stats.searches == 1
+
+    def test_warmup_then_zero_searches(self, registry, tmp_path, v100):
+        registry.warmup("m", [1, 2, 4], v100)
+        assert registry.stats.searches == 3
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        fresh.warmup("m", [1, 2, 4], v100)
+        assert fresh.stats.searches == 0
+        assert fresh.stats.disk_hits == 3
+
+
+class TestPutAndEnumeration:
+    def test_put_and_contains(self, registry, v100):
+        graph = chain_builder("m", 1)
+        schedule = Schedule(
+            graph_name=graph.name, origin="handmade",
+            stages=[Stage(operators=(name,)) for name in graph.schedulable_names()],
+        )
+        registry.put("m", 1, v100, schedule)
+        assert registry.contains("m", 1, v100)
+        assert registry.get("m", 1, v100) == schedule
+        assert registry.stats.searches == 0
+
+    def test_keys_merges_memory_and_disk(self, registry, tmp_path, v100):
+        registry.get("alpha", 1, v100)
+        registry.get("beta", 2, v100)
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        assert fresh.keys() == [
+            RegistryKey("alpha", 1, "v100", "ios-both"),
+            RegistryKey("beta", 2, "v100", "ios-both"),
+        ]
+
+    def test_key_round_trips_through_filename(self):
+        key = RegistryKey("m", 32, "rtx2080ti", "ios-merge")
+        parsed = RegistryKey.from_path("m", Path(key.filename()))
+        assert parsed == key
+
+
+class TestFailureModes:
+    def test_corrupted_entry_is_dropped_and_recompiled(self, registry, tmp_path, v100):
+        registry.get("m", 1, v100)
+        path = registry.path_for(registry.key("m", 1, v100))
+        path.write_text("{not json")
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        fresh.get("m", 1, v100)
+        assert fresh.stats.corrupt_entries == 1
+        assert fresh.stats.searches == 1
+        # The rewritten entry must be valid again.
+        assert Schedule.load(path).graph_name == "chain"
+
+    def test_wrong_shape_json_is_dropped_and_recompiled(self, registry, tmp_path, v100):
+        # Valid JSON of the wrong shape (here a list) must be treated exactly
+        # like a truncated file, not crash the lookup.
+        registry.get("m", 1, v100)
+        path = registry.path_for(registry.key("m", 1, v100))
+        path.write_text("[1, 2, 3]")
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        fresh.get("m", 1, v100)
+        assert fresh.stats.corrupt_entries == 1
+        assert fresh.stats.searches == 1
+
+    def test_entry_for_wrong_graph_raises(self, registry, tmp_path, v100):
+        key = registry.key("m", 1, v100)
+        path = registry.path_for(key)
+        Schedule(graph_name="other_graph", stages=[Stage(operators=("x",))]).save(path)
+        with pytest.raises(RegistryError):
+            registry.get("m", 1, v100)
+
+    def test_variant_is_part_of_the_key(self, tmp_path, v100):
+        both = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder, variant="ios-both")
+        merge = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder, variant="ios-merge")
+        both.get("m", 1, v100)
+        merge.get("m", 1, v100)
+        assert merge.stats.searches == 1  # no cross-variant reuse
+        assert both.path_for(both.key("m", 1, v100)) != merge.path_for(merge.key("m", 1, v100))

@@ -1,0 +1,112 @@
+"""Tests for the synthetic traffic generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve import (
+    TrafficConfig,
+    TrafficGenerator,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_is_sorted_and_deterministic(self):
+        a1 = poisson_arrivals(500, rate_rps=100.0, rng=random.Random(7))
+        a2 = poisson_arrivals(500, rate_rps=100.0, rng=random.Random(7))
+        assert a1 == a2
+        assert a1 == sorted(a1)
+        assert len(a1) == 500
+
+    def test_poisson_rate_is_approximately_respected(self):
+        arrivals = poisson_arrivals(2000, rate_rps=200.0, rng=random.Random(0))
+        # 2000 arrivals at 200/s should span about 10 s.
+        assert 8_000 < arrivals[-1] < 12_000
+
+    def test_poisson_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, rate_rps=0.0, rng=random.Random(0))
+
+    def test_bursty_produces_bursts(self):
+        arrivals = bursty_arrivals(
+            60, burst_size=10, burst_gap_ms=100.0, rng=random.Random(1)
+        )
+        assert len(arrivals) == 60
+        assert arrivals == sorted(arrivals)
+        # Gaps within a burst are sub-millisecond; gaps between bursts are
+        # tens of ms — so exactly 5 large gaps for 6 bursts.
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        large = [gap for gap in gaps if gap > 10.0]
+        assert len(large) == 5
+
+    def test_bursty_stays_monotonic_when_bursts_outlast_the_gap(self):
+        # 32 requests ~0.2ms apart span ~6ms, far longer than a 5ms gap that
+        # can jitter down to 2.5ms — the next burst must still start after
+        # the previous one ends.
+        arrivals = bursty_arrivals(
+            200, burst_size=32, burst_gap_ms=5.0, rng=random.Random(3)
+        )
+        assert arrivals == sorted(arrivals)
+
+    def test_uniform_spacing(self):
+        arrivals = uniform_arrivals(5, rate_rps=1000.0, rng=random.Random(0))
+        assert arrivals == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestTrafficGenerator:
+    def test_generates_requested_count_in_order(self):
+        config = TrafficConfig(model="squeezenet", num_requests=128, seed=3)
+        requests = TrafficGenerator(config).generate()
+        assert len(requests) == 128
+        assert [r.request_id for r in requests] == list(range(128))
+        arrivals = [r.arrival_ms for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(r.model == "squeezenet" for r in requests)
+
+    def test_sample_sizes_come_from_the_configured_mix(self):
+        config = TrafficConfig(num_requests=300, sample_sizes=(1, 4),
+                               sample_weights=(0.5, 0.5), seed=11)
+        requests = TrafficGenerator(config).generate()
+        sizes = {r.num_samples for r in requests}
+        assert sizes == {1, 4}
+
+    def test_same_seed_same_workload(self):
+        config = TrafficConfig(num_requests=64, pattern="bursty", seed=5)
+        assert TrafficGenerator(config).generate() == TrafficGenerator(config).generate()
+
+    def test_different_seed_different_workload(self):
+        base = TrafficConfig(num_requests=64, seed=1)
+        other = TrafficConfig(num_requests=64, seed=2)
+        assert TrafficGenerator(base).generate() != TrafficGenerator(other).generate()
+
+    def test_capped_to_drops_oversized_sizes(self):
+        config = TrafficConfig(num_requests=50)
+        capped = config.capped_to(2)
+        assert capped.sample_sizes == (1, 2)
+        assert len(capped.sample_weights) == 2
+        assert all(r.num_samples <= 2 for r in TrafficGenerator(capped).generate())
+
+    def test_capped_to_is_identity_when_everything_fits(self):
+        config = TrafficConfig(num_requests=50)
+        assert config.capped_to(4) is config
+
+    def test_capped_to_rejects_impossible_cap(self):
+        config = TrafficConfig(num_requests=50, sample_sizes=(4, 8),
+                               sample_weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            config.capped_to(2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"pattern": "zipf"},
+        {"num_requests": 0},
+        {"sample_sizes": (1, 2), "sample_weights": (1.0,)},
+        {"sample_sizes": ()},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficConfig(**kwargs)
