@@ -1,0 +1,40 @@
+"""Benchmark: the graph-rewriting pass pipeline ablation (ios-bench ablation-passes).
+
+For each model, schedules the raw (unfused frontend) graph and the
+pass-optimised graph and compares operator count, scheduled latency and DP
+search effort.  The optimised graph must have strictly fewer schedulable
+operators, no-worse latency, and a cheaper search — that is the whole point
+of running a compiler stage before placement.
+"""
+
+from conftest import full_run, run_once
+
+from repro.experiments import run_pass_ablation
+
+
+def test_pass_ablation(benchmark, device_name):
+    # Quick mode keeps the raw-graph DP searches in check; the full run sweeps
+    # the acceptance pair (Conv-Relu heavy and Relu-SepConv heavy networks).
+    models = ("inception_v3", "nasnet_a") if full_run() else ("inception_v3", "squeezenet")
+    table = run_once(benchmark, run_pass_ablation, models=models, device=device_name)
+    for model in models:
+        rows = [r for r in table.rows if r["model"] == model]
+        raw = next(r for r in rows if r["graph"] == "raw")
+        opt = next(r for r in rows if r["graph"] == "optimized")
+        assert opt["operators"] < raw["operators"]
+        assert opt["latency_ms"] <= raw["latency_ms"] + 1e-9
+        assert opt["search_s"] < raw["search_s"]
+        assert opt["transitions"] < raw["transitions"]
+        assert opt["rewrites"] > 0
+        # The per-pass breakdown is part of the report.
+        assert any(str(r["graph"]).startswith("pass:") for r in rows)
+
+
+def test_pipeline_cost_is_negligible(benchmark, device_name):
+    """The rewrite pipeline itself must be orders cheaper than the search it saves."""
+    table = run_once(benchmark, run_pass_ablation, models=("squeezenet",),
+                     device=device_name)
+    raw = next(r for r in table.rows if r["graph"] == "raw")
+    opt = next(r for r in table.rows if r["graph"] == "optimized")
+    saved = raw["search_s"] - opt["search_s"]
+    assert opt["pass_time_s"] < max(saved, 1e-9) or opt["pass_time_s"] < 0.05

@@ -2,7 +2,10 @@
 
 The package is organised as:
 
-* :mod:`repro.ir` — computation-graph IR (shape-annotated operators, blocks);
+* :mod:`repro.ir` — computation-graph IR (shape-annotated operators, blocks,
+  canonical graph fingerprints);
+* :mod:`repro.passes` — graph-rewriting optimization pipeline (activation
+  fusion, CSE, dead-code elimination, canonicalization) run before scheduling;
 * :mod:`repro.hardware` — simulated GPUs, kernel model, multi-stream contention;
 * :mod:`repro.runtime` — execution engine, profiler, warp tracer, memory planner;
 * :mod:`repro.models` — CNN model zoo (Inception V3, RandWire, NasNet-A, SqueezeNet, ...);
@@ -38,7 +41,7 @@ from .core import (
     sequential_schedule,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TensorShape",

@@ -49,6 +49,50 @@ from .specialization import (
     specialize_for_devices,
 )
 
+
+def schedule_graph(graph, device="v100", *, variant=None, passes=False,
+                   pruning=None, profile=None, config=None) -> ScheduleResult:
+    """One-call scheduler path: optional rewrite pipeline, then the IOS search.
+
+    The convenience entry point used by the CLI and the serving registry::
+
+        result = schedule_graph(build_model("inception_v3"), "v100", passes=True)
+        latency = measure_schedule(result.graph, result.schedule, get_device("v100"))
+
+    Parameters
+    ----------
+    graph:
+        The computation graph to schedule.
+    device:
+        Device preset name or a :class:`~repro.hardware.device.DeviceSpec`.
+    variant:
+        IOS variant (``ios-both`` — the default — / ``ios-parallel`` /
+        ``ios-merge``).
+    passes:
+        ``False`` schedules the graph as given; ``True`` first runs the
+        default :mod:`repro.passes` pipeline; a
+        :class:`~repro.passes.PassManager` (or list of pass names) runs that
+        pipeline instead.  The schedule always refers to ``result.graph``.
+    pruning:
+        Optional :class:`~repro.core.endings.PruningStrategy` override.
+    profile:
+        Kernel profile for the cost model (default: cuDNN).
+    config:
+        Full :class:`SchedulerConfig` override; mutually exclusive with
+        ``variant``/``pruning``.
+    """
+    from ..hardware.device import get_device
+    from ..hardware.kernel import CUDNN_PROFILE
+
+    if config is None:
+        config = SchedulerConfig.variant(variant or "ios-both", pruning=pruning)
+    elif variant is not None or pruning is not None:
+        raise ValueError("pass either config= or variant=/pruning=, not both")
+    spec = get_device(device) if isinstance(device, str) else device
+    cost_model = SimulatedCostModel(spec, profile or CUDNN_PROFILE)
+    scheduler = IOSScheduler(cost_model, config)
+    return scheduler.optimize_graph(graph, passes=passes or None)
+
 __all__ = [
     "ParallelizationStrategy",
     "Stage",
@@ -76,6 +120,7 @@ __all__ = [
     "IOSScheduler",
     "IOSVariant",
     "SchedulerConfig",
+    "schedule_graph",
     "BlockStats",
     "ScheduleResult",
     "sequential_schedule",

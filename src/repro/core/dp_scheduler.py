@@ -92,6 +92,12 @@ class ScheduleResult:
     schedule: Schedule
     block_stats: list[BlockStats] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: The graph the schedule refers to.  Equal to the input graph unless the
+    #: search was preceded by a rewrite pipeline (``optimize_graph(passes=...)``),
+    #: in which case the schedule's operator names only exist in this graph.
+    graph: Graph | None = None
+    #: Per-pass rewrite statistics when a pipeline ran, else ``None``.
+    pass_stats: list | None = None
 
     @property
     def total_transitions(self) -> int:
@@ -224,9 +230,26 @@ class IOSScheduler:
         return stages, stats
 
     # ------------------------------------------------------------- whole graph
-    def optimize_graph(self, graph: Graph) -> ScheduleResult:
-        """Optimise every block of ``graph`` and concatenate the block schedules."""
+    def optimize_graph(self, graph: Graph, passes=None) -> ScheduleResult:
+        """Optimise every block of ``graph`` and concatenate the block schedules.
+
+        ``passes`` optionally runs a graph-rewriting pipeline *before* the DP
+        search: ``True`` selects :func:`repro.passes.default_pipeline`, or pass
+        a :class:`repro.passes.PassManager` / list of pass names.  The returned
+        result then carries the rewritten graph (``result.graph``) — the
+        schedule's operator names refer to it, not to the input graph — plus
+        the per-pass rewrite statistics (``result.pass_stats``).
+        """
         start = time.perf_counter()
+        pass_stats = None
+        if passes is not None and passes is not False:
+            # Imported lazily: repro.passes depends only on repro.ir, but the
+            # scheduler must stay importable without the passes package loaded.
+            from ..passes import optimize_graph as run_passes
+
+            pass_result = run_passes(graph, None if passes is True else passes)
+            graph = pass_result.graph
+            pass_stats = pass_result.stats
         schedule = Schedule(graph_name=graph.name, origin=self._origin_label())
         all_stats: list[BlockStats] = []
         for block in graph.blocks:
@@ -238,6 +261,8 @@ class IOSScheduler:
             schedule=schedule,
             block_stats=all_stats,
             elapsed_s=time.perf_counter() - start,
+            graph=graph,
+            pass_stats=pass_stats,
         )
 
     # ----------------------------------------------------------------- helpers

@@ -23,6 +23,7 @@ from .fig12_intra_vs_inter import run_figure12
 from .fig13_worst_case import DEFAULT_CHAIN_CONFIGS, run_figure13
 from .fig16_blockwise import run_figure16
 from .resnet_note import run_resnet_note
+from .ablation_passes import run_pass_ablation
 from .ablations import flatten_blocks, run_blockwise_ablation, run_cost_model_ablation
 from .cli import EXPERIMENTS, main
 
@@ -62,6 +63,7 @@ __all__ = [
     "run_resnet_note",
     "run_cost_model_ablation",
     "run_blockwise_ablation",
+    "run_pass_ablation",
     "flatten_blocks",
     "EXPERIMENTS",
     "main",

@@ -18,6 +18,7 @@ import sys
 from pathlib import Path
 from typing import Callable
 
+from .ablation_passes import run_pass_ablation
 from .ablations import run_blockwise_ablation, run_cost_model_ablation
 from .fig01_trends import run_figure1
 from .fig02_motivating import run_figure2
@@ -65,6 +66,10 @@ def _experiments(quick: bool, device: str) -> dict[str, Callable[[], ExperimentT
         "resnet-note": lambda: run_resnet_note(device=device),
         "ablation-cost-model": lambda: run_cost_model_ablation(device=device),
         "ablation-blockwise": lambda: run_blockwise_ablation(device=device),
+        "ablation-passes": lambda: run_pass_ablation(
+            device=device,
+            models=("inception_v3", "squeezenet") if quick else ("inception_v3", "nasnet_a"),
+        ),
     }
 
 
@@ -124,6 +129,9 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="IOS variant compiled on registry misses")
     parser.add_argument("--registry-dir", default=None,
                         help="directory persisting optimised schedules across runs")
+    parser.add_argument("--passes", action=argparse.BooleanOptionalAction, default=False,
+                        help="run the repro.passes rewrite pipeline on served graphs "
+                        "(schedule keys fingerprint the rewritten graph)")
     parser.add_argument("--seed", type=int, default=0, help="traffic seed")
     parser.add_argument("--no-batching", action="store_true",
                         help="serve every request by itself (baseline)")
@@ -171,7 +179,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             patterns=(args.pattern,) if args.pattern else ("poisson", "bursty"),
             burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
             variant=args.variant, registry_root=args.registry_dir,
-            seed=args.seed,
+            seed=args.seed, passes=args.passes,
         )
         print(table.to_text())
         _write_csv(table, args.csv_dir)
@@ -201,7 +209,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         serving = ServingConfig.unbatched(
             model=args.model, devices=(args.device,) * args.num_workers,
             batch_sizes=batch_sizes, variant=args.variant,
-            registry_root=args.registry_dir,
+            registry_root=args.registry_dir, passes=args.passes,
         )
     else:
         serving = ServingConfig(
@@ -210,6 +218,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             policy=BatchPolicy(max_batch_size=max(batch_sizes),
                                max_wait_ms=max_wait_ms),
             variant=args.variant, registry_root=args.registry_dir,
+            passes=args.passes,
         )
     report = run_serving(traffic, serving)
     print(report.describe())
@@ -238,16 +247,27 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="restrict heavy experiments to a small model subset / fewer batch sizes",
     )
+    parser.add_argument(
+        "--passes", action=argparse.BooleanOptionalAction, default=False,
+        help="run the repro.passes rewrite pipeline on every model graph the "
+        "experiments build (ablation-passes compares both forms regardless)",
+    )
     parser.add_argument("--csv-dir", default=None, help="directory to write CSV outputs to")
     args = parser.parse_args(argv)
 
+    from ..models import set_default_optimize
+
     registry = _experiments(quick=args.quick, device=args.device)
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
-    for name in names:
-        table = registry[name]()
-        print(table.to_text())
-        print()
-        _write_csv(table, args.csv_dir)
+    previous = set_default_optimize(args.passes)
+    try:
+        for name in names:
+            table = registry[name]()
+            print(table.to_text())
+            print()
+            _write_csv(table, args.csv_dir)
+    finally:
+        set_default_optimize(previous)
     return 0
 
 

@@ -36,6 +36,7 @@ from .flops import (
     graph_cost_breakdown,
     operator_cost,
 )
+from .fingerprint import FINGERPRINT_LENGTH, canonical_order, graph_fingerprint
 from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
 from .visualize import block_summary_table, graph_to_dot, graph_to_text
 
@@ -70,6 +71,9 @@ __all__ = [
     "block_flops",
     "conv_statistics",
     "arithmetic_intensity",
+    "FINGERPRINT_LENGTH",
+    "canonical_order",
+    "graph_fingerprint",
     "graph_to_dict",
     "graph_from_dict",
     "save_graph",

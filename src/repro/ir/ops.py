@@ -15,6 +15,12 @@ Following the paper (Table 2), compound units such as "Conv-Relu" and
 "Relu-SepConv" are modelled as a *single* schedulable operator: a ``Conv2d``
 carries an optional fused activation, a ``SeparableConv2d`` carries an optional
 preceding activation.  These compound operators are the basic schedule units.
+
+Graphs do not have to arrive pre-fused: the ``fuse-activation`` pass of
+:mod:`repro.passes` (see :class:`repro.passes.FuseActivationPass`) folds
+standalone ``Relu`` nodes into these fused-activation fields, so a raw
+frontend graph optimises to the same compound units the model zoo builds
+directly.
 """
 
 from __future__ import annotations
@@ -661,9 +667,23 @@ for _cls in (
 
 
 def operator_from_config(config: dict[str, Any]) -> Operator:
-    """Reconstruct an operator from its ``to_config()`` dictionary."""
+    """Reconstruct an operator from its ``to_config()`` dictionary.
+
+    Raises
+    ------
+    KeyError
+        If ``config["kind"]`` names no registered operator type; the message
+        lists every known kind so typos in hand-written graph JSON (or a
+        missing :func:`register_operator` call for a custom operator) are
+        immediately actionable.
+    """
     kind = config["kind"]
     if kind not in OP_REGISTRY:
-        raise KeyError(f"unknown operator kind {kind!r}")
+        raise KeyError(
+            f"unknown operator kind {kind!r}; known kinds: "
+            f"{', '.join(sorted(OP_REGISTRY))}. Custom operators must be "
+            "registered with repro.ir.ops.register_operator before "
+            "deserialisation."
+        )
     cls = OP_REGISTRY[kind]
     return cls.from_attrs(config["name"], config.get("inputs", []), config.get("attrs", {}))

@@ -14,6 +14,7 @@ from .common import (
     list_models,
     model_specs,
     register_model,
+    set_default_optimize,
 )
 from .toy import (
     chain_graph,
@@ -38,6 +39,7 @@ __all__ = [
     "list_models",
     "model_specs",
     "register_model",
+    "set_default_optimize",
     "figure2_block",
     "figure3_graph",
     "figure5_graph",

@@ -19,6 +19,7 @@ __all__ = [
     "register_model",
     "build_model",
     "list_models",
+    "set_default_optimize",
     "BENCHMARK_MODELS",
 ]
 
@@ -52,8 +53,32 @@ def register_model(spec: ModelSpec) -> ModelSpec:
     return spec
 
 
-def build_model(name: str, batch_size: int = 1, **kwargs) -> Graph:
-    """Instantiate a registered model at the given batch size."""
+#: Process-wide default for ``build_model(optimize=None)``; flipped by the
+#: CLI's ``--passes`` flag so every experiment sees rewritten graphs.
+_DEFAULT_OPTIMIZE = False
+
+
+def set_default_optimize(enabled: bool) -> bool:
+    """Set the process-wide default for ``build_model``'s pass pipeline.
+
+    Returns the previous value so callers (tests, the CLI) can restore it.
+    """
+    global _DEFAULT_OPTIMIZE
+    previous = _DEFAULT_OPTIMIZE
+    _DEFAULT_OPTIMIZE = bool(enabled)
+    return previous
+
+
+def build_model(
+    name: str, batch_size: int = 1, optimize: bool | None = None, **kwargs
+) -> Graph:
+    """Instantiate a registered model at the given batch size.
+
+    ``optimize=True`` runs the default :mod:`repro.passes` rewrite pipeline on
+    the built graph (fingerprint-cached, so repeated builds are cheap);
+    ``None`` defers to the process-wide default set by
+    :func:`set_default_optimize`.
+    """
     key = name.lower().replace("-", "_").replace(" ", "_")
     aliases = {
         "inceptionv3": "inception_v3",
@@ -69,7 +94,14 @@ def build_model(name: str, batch_size: int = 1, **kwargs) -> Graph:
     key = aliases.get(key, key)
     if key not in MODEL_REGISTRY:
         raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
-    return MODEL_REGISTRY[key].builder(batch_size=batch_size, **kwargs)
+    graph = MODEL_REGISTRY[key].builder(batch_size=batch_size, **kwargs)
+    if optimize is None:
+        optimize = _DEFAULT_OPTIMIZE
+    if optimize:
+        from ..passes import optimize_graph
+
+        graph = optimize_graph(graph).graph
+    return graph
 
 
 def list_models() -> list[str]:

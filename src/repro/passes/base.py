@@ -1,0 +1,238 @@
+"""Pass protocol, pass registry and the :class:`PassManager` pipeline driver.
+
+A *pass* is a graph-to-graph rewrite: it takes a validated
+:class:`~repro.ir.graph.Graph` and returns a (possibly new) graph plus the
+number of rewrites it applied.  Passes never mutate their input graph — graph
+objects are shared (model caches, registries), so every rewrite builds a fresh
+graph via :class:`~repro.passes.rewriter.GraphRewriter`.
+
+The :class:`PassManager` runs an ordered pipeline of passes, optionally
+iterating the whole pipeline to a fixed point (a rewrite by one pass can
+expose opportunities for an earlier one, e.g. split–concat elimination leaves
+dead splits behind for dead-node elimination).  After every pass the result is
+re-validated with :func:`repro.ir.validate.validate_graph`, so a buggy rewrite
+fails loudly at the pass boundary instead of corrupting the scheduler.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..ir.graph import Graph
+from ..ir.validate import GraphValidationError, validate_graph
+
+__all__ = [
+    "GraphPass",
+    "PassError",
+    "PassStats",
+    "PassResult",
+    "PassManager",
+    "PASS_REGISTRY",
+    "register_pass",
+    "make_pass",
+]
+
+
+class PassError(RuntimeError):
+    """Raised when a pass produces an invalid graph or fails to converge."""
+
+
+class GraphPass:
+    """Base class for graph rewrite passes.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, returning the
+    rewritten graph and the number of rewrites applied.  A pass that applies
+    zero rewrites should return the input graph unchanged (``graph, 0``) so
+    the manager can detect the fixed point cheaply.
+    """
+
+    #: Stable identifier used by the pass registry, stats and CLI listings.
+    name: str = "pass"
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        raise NotImplementedError
+
+    def signature(self) -> tuple:
+        """Cache identity of this pass *as configured*.
+
+        The pipeline result cache keys on this, so two differently-configured
+        instances of the same pass (e.g. ``CommonSubexpressionPass`` with and
+        without ``include_weighted``) never share a cached result.  The
+        default covers every instance attribute; override only if an
+        attribute is expensive to repr or irrelevant to the rewrite.
+        """
+        return (
+            self.name,
+            tuple(sorted((k, repr(v)) for k, v in vars(self).items())),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Registered pass factories, keyed by pass name (see :func:`register_pass`).
+PASS_REGISTRY: dict[str, Callable[[], GraphPass]] = {}
+
+
+def register_pass(cls: type[GraphPass]) -> type[GraphPass]:
+    """Register a pass class so pipelines can name it (usable as a decorator).
+
+    Third-party passes register the same way the built-ins do::
+
+        @register_pass
+        class MyPass(GraphPass):
+            name = "my-pass"
+            def run(self, graph): ...
+    """
+    if not cls.name or cls.name == GraphPass.name:
+        raise ValueError(f"pass class {cls.__name__} must define a unique 'name'")
+    existing = PASS_REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate pass name {cls.name!r}")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_pass(name: str) -> GraphPass:
+    """Instantiate a registered pass by name."""
+    if name not in PASS_REGISTRY:
+        raise KeyError(f"unknown pass {name!r}; registered passes: {sorted(PASS_REGISTRY)}")
+    return PASS_REGISTRY[name]()
+
+
+@dataclass
+class PassStats:
+    """Accumulated statistics for one pass across all pipeline iterations."""
+
+    name: str
+    runs: int = 0
+    rewrites: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class PassResult:
+    """Outcome of running a :class:`PassManager` on one graph."""
+
+    graph: Graph
+    stats: list[PassStats] = field(default_factory=list)
+    iterations: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(s.rewrites for s in self.stats)
+
+    def stats_by_name(self) -> dict[str, PassStats]:
+        return {s.name: s for s in self.stats}
+
+    def describe(self) -> str:
+        """One line per pass: how often it ran, what it rewrote, how long."""
+        lines = [
+            f"pass pipeline: {self.total_rewrites} rewrites in "
+            f"{self.iterations} iteration(s), {self.elapsed_s * 1e3:.1f} ms"
+        ]
+        for s in self.stats:
+            lines.append(
+                f"  {s.name:<24} runs={s.runs}  rewrites={s.rewrites}  "
+                f"time={s.elapsed_s * 1e3:.1f} ms"
+            )
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Ordered pipeline of rewrite passes with fixed-point iteration.
+
+    Parameters
+    ----------
+    passes:
+        Pass instances or registered pass names, in execution order.
+    fixed_point:
+        Re-run the whole pipeline until an iteration applies zero rewrites
+        (bounded by ``max_iterations``).  With ``False`` the pipeline runs
+        exactly once.
+    max_iterations:
+        Safety bound on fixed-point iteration; exceeding it raises
+        :class:`PassError` (a pass pair is oscillating instead of converging).
+    validate:
+        Re-validate the graph after every pass that rewrote something.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[GraphPass | str],
+        *,
+        fixed_point: bool = True,
+        max_iterations: int = 10,
+        validate: bool = True,
+    ):
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.passes: list[GraphPass] = [
+            make_pass(p) if isinstance(p, str) else p for p in passes
+        ]
+        if not self.passes:
+            raise ValueError("a PassManager needs at least one pass")
+        self.fixed_point = fixed_point
+        self.max_iterations = max_iterations
+        self.validate = validate
+
+    @property
+    def pass_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def signature(self) -> tuple:
+        """Cache identity of the whole pipeline: pass configs + driver flags."""
+        return (
+            tuple(p.signature() for p in self.passes),
+            self.fixed_point,
+            self.max_iterations,
+            self.validate,
+        )
+
+    def run(self, graph: Graph) -> PassResult:
+        """Run the pipeline on ``graph`` and return the rewritten graph + stats."""
+        start = time.perf_counter()
+        stats = {p.name: PassStats(name=p.name) for p in self.passes}
+        current = graph
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise PassError(
+                    f"pass pipeline did not converge on graph {graph.name!r} "
+                    f"within {self.max_iterations} iterations; pass order "
+                    f"{list(self.pass_names)} is oscillating"
+                )
+            iteration_rewrites = 0
+            for pass_ in self.passes:
+                pass_start = time.perf_counter()
+                rewritten, rewrites = pass_.run(current)
+                stat = stats[pass_.name]
+                stat.runs += 1
+                stat.rewrites += rewrites
+                stat.elapsed_s += time.perf_counter() - pass_start
+                if rewrites:
+                    if self.validate:
+                        try:
+                            validate_graph(rewritten)
+                        except GraphValidationError as exc:
+                            raise PassError(
+                                f"pass {pass_.name!r} produced an invalid graph "
+                                f"for {graph.name!r}: {exc}"
+                            ) from exc
+                    current = rewritten
+                    iteration_rewrites += rewrites
+            if iteration_rewrites == 0 or not self.fixed_point:
+                break
+        return PassResult(
+            graph=current,
+            stats=[stats[name] for name in self.pass_names],
+            iterations=iterations,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<PassManager {list(self.pass_names)}>"

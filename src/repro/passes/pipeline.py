@@ -1,0 +1,89 @@
+"""Default optimization pipeline and fingerprint-keyed result cache.
+
+:func:`optimize_graph` is the one-call entry point the rest of the system
+uses: the model zoo (``build_model(..., optimize=True)``), the scheduler path
+(:func:`repro.core.schedule_graph` / ``IOSScheduler.optimize_graph(passes=...)``)
+and the serving registry (``ScheduleRegistry(passes=True)``) all funnel through
+it.  Results are memoised per input-graph fingerprint, so repeated requests for
+the same structure (every batch rung of a model, every warm serving start) pay
+for the rewrite once.
+"""
+
+from __future__ import annotations
+
+from ..ir.fingerprint import graph_fingerprint
+from ..ir.graph import Graph
+from .base import GraphPass, PassManager, PassResult
+from . import rewrites as _rewrites  # noqa: F401  (registers the built-in passes)
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "default_pipeline",
+    "optimize_graph",
+    "clear_pass_cache",
+]
+
+#: Names of the default pipeline, in execution order.  Fusion first (it shrinks
+#: the graph the most), then CSE (merged duplicates expose split/concat
+#: cancellations), then structural simplification, then dead-code cleanup of
+#: whatever the earlier passes orphaned, then canonicalization so the final
+#: graph has a stable serialised form.
+DEFAULT_PASSES = (
+    "fuse-activation",
+    "cse",
+    "simplify-split-concat",
+    "eliminate-dead",
+    "canonicalize",
+)
+
+
+def default_pipeline(*, validate: bool = True, fixed_point: bool = True) -> PassManager:
+    """The default :class:`PassManager` over :data:`DEFAULT_PASSES`."""
+    return PassManager(list(DEFAULT_PASSES), validate=validate, fixed_point=fixed_point)
+
+
+#: Memoised optimisation results keyed by (graph name, node names digest,
+#: structural fingerprint, pipeline signature).  The node-name component keeps
+#: two same-shaped graphs with different node names from sharing a result (the
+#: rewritten graph reuses the input's names); the pipeline signature covers
+#: pass *configuration*, not just pass names.
+_PASS_CACHE: dict[tuple, PassResult] = {}
+
+
+def clear_pass_cache() -> None:
+    """Drop all memoised pipeline results (tests and benchmarks)."""
+    _PASS_CACHE.clear()
+
+
+def optimize_graph(
+    graph: Graph,
+    passes: PassManager | list[GraphPass | str] | None = None,
+    *,
+    cache: bool = True,
+) -> PassResult:
+    """Run a pass pipeline (default: :func:`default_pipeline`) on ``graph``.
+
+    Returns the full :class:`~repro.passes.base.PassResult`; use
+    ``optimize_graph(g).graph`` for just the rewritten graph.  With ``cache``
+    (the default) results are memoised by graph fingerprint: callers must
+    treat the returned graph as immutable, exactly like any built model.
+    """
+    if passes is None:
+        manager = default_pipeline()
+    elif isinstance(passes, PassManager):
+        manager = passes
+    else:
+        manager = PassManager(list(passes))
+    if not cache:
+        return manager.run(graph)
+    key = (
+        graph.name,
+        hash(tuple(graph.nodes.keys())),
+        graph_fingerprint(graph),
+        manager.signature(),
+    )
+    result = _PASS_CACHE.get(key)
+    if result is None:
+        result = manager.run(graph)
+        _PASS_CACHE[key] = result
+    return result

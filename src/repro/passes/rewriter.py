@@ -1,0 +1,166 @@
+"""Mutable graph-editing buffer used by the rewrite passes.
+
+:class:`~repro.ir.graph.Graph` objects are append-only (operators must arrive
+in topological order) and shared between subsystems, so passes never edit them
+in place.  Instead a :class:`GraphRewriter` snapshots a graph into plain
+operator configs, lets a pass rewire/remove/insert/retag nodes freely, and
+:meth:`GraphRewriter.rebuild` re-materialises a fresh, shape-bound, validated
+graph via :func:`repro.ir.ops.operator_from_config`.
+
+Graph *outputs* (nodes with no consumers at snapshot time) are tracked
+explicitly: rewrites must keep every output producing the same value, so
+:meth:`redirect` transfers output-ness and :meth:`remove` refuses to drop a
+live output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..ir.graph import Graph
+from ..ir.ops import operator_from_config
+from ..ir.tensor import TensorShape
+
+__all__ = ["GraphRewriter"]
+
+
+class GraphRewriter:
+    """Editable snapshot of a graph for one pass invocation."""
+
+    def __init__(self, graph: Graph):
+        self.source = graph
+        self.graph_name = graph.name
+        self.configs: dict[str, dict[str, Any]] = {
+            name: op.to_config() for name, op in graph.nodes.items()
+        }
+        #: Preferred node order for the rebuilt graph (rebuild topo-sorts, this
+        #: list breaks ties so untouched regions keep their original order).
+        self.order: list[str] = list(graph.nodes)
+        self.block_names: list[str] = [b.name for b in graph.blocks]
+        self.block_of: dict[str, str] = {
+            node: block.name for block in graph.blocks for node in block.node_names
+        }
+        self.outputs: set[str] = set(graph.output_names())
+        self.num_rewrites = 0
+
+    # ------------------------------------------------------------------ queries
+    def kind(self, name: str) -> str:
+        return self.configs[name]["kind"]
+
+    def attrs(self, name: str) -> dict[str, Any]:
+        return self.configs[name]["attrs"]
+
+    def inputs(self, name: str) -> list[str]:
+        return self.configs[name]["inputs"]
+
+    def output_shape(self, name: str) -> TensorShape | None:
+        """Output shape of a node, when it already existed in the source graph."""
+        op = self.source.nodes.get(name)
+        return op.output_shape if op is not None else None
+
+    def consumers(self, name: str) -> list[str]:
+        return [
+            other
+            for other, config in self.configs.items()
+            if name in config["inputs"]
+        ]
+
+    def nodes_of_kind(self, *kinds: str) -> list[str]:
+        """Current nodes of the given kinds, in :attr:`order`."""
+        wanted = set(kinds)
+        return [n for n in self.order if n in self.configs and self.kind(n) in wanted]
+
+    # ----------------------------------------------------------------- editing
+    def set_attr(self, name: str, key: str, value: Any) -> None:
+        self.configs[name]["attrs"][key] = value
+
+    def set_inputs(self, name: str, new_inputs: Iterable[str]) -> None:
+        self.configs[name]["inputs"] = list(new_inputs)
+
+    def redirect(self, old: str, new: str) -> None:
+        """Rewire every consumer of ``old`` to read from ``new`` instead.
+
+        If ``old`` was a graph output, ``new`` becomes one: the value the graph
+        produced through ``old`` is now produced through ``new``.
+        """
+        if old == new:
+            raise ValueError(f"cannot redirect node {old!r} to itself")
+        for config in self.configs.values():
+            config["inputs"] = [new if i == old else i for i in config["inputs"]]
+        if old in self.outputs:
+            self.outputs.discard(old)
+            self.outputs.add(new)
+
+    def remove(self, name: str) -> None:
+        """Remove a node that no longer has consumers and is not a live output."""
+        if name in self.outputs:
+            raise ValueError(f"cannot remove graph output {name!r}")
+        consumers = self.consumers(name)
+        if consumers:
+            raise ValueError(
+                f"cannot remove node {name!r}; still consumed by {consumers}"
+            )
+        del self.configs[name]
+        self.block_of.pop(name, None)
+
+    def insert(
+        self,
+        config: dict[str, Any],
+        *,
+        block: str | None,
+        after: str | None = None,
+    ) -> str:
+        """Add a new node config; ``after`` positions it in the order hint."""
+        name = config["name"]
+        if name in self.configs:
+            raise ValueError(f"duplicate node name {name!r}")
+        self.configs[name] = config
+        if block is not None:
+            if block not in self.block_names:
+                self.block_names.append(block)
+            self.block_of[name] = block
+        if after is not None and after in self.order:
+            self.order.insert(self.order.index(after) + 1, name)
+        else:
+            self.order.append(name)
+        return name
+
+    # ---------------------------------------------------------------- rebuild
+    def rebuild(self) -> Graph:
+        """Materialise the edits as a fresh shape-bound graph.
+
+        Nodes are added in a topological order that follows :attr:`order`
+        wherever dependencies allow, so rebuilding an unedited snapshot
+        reproduces the original node order exactly.
+        """
+        live = [n for n in self.order if n in self.configs]
+        position = {name: idx for idx, name in enumerate(live)}
+        indegree = {
+            name: sum(1 for p in self.configs[name]["inputs"] if p in self.configs)
+            for name in live
+        }
+        ready = sorted((n for n in live if indegree[n] == 0), key=position.__getitem__)
+        graph = Graph(self.graph_name)
+        blocks = {name: graph.add_block(name) for name in self.block_names}
+        added = 0
+        while ready:
+            name = ready.pop(0)
+            op = operator_from_config(self.configs[name])
+            graph.add_node(op, blocks.get(self.block_of.get(name, "")))
+            added += 1
+            inserted = False
+            for other in self.consumers(name):
+                # One decrement per edge: a consumer may read ``name`` twice
+                # (e.g. add(x, x) after CSE merged its two producers).
+                indegree[other] -= self.configs[other]["inputs"].count(name)
+                if indegree[other] == 0:
+                    ready.append(other)
+                    inserted = True
+            if inserted:
+                ready.sort(key=position.__getitem__)
+        if added != len(live):
+            raise ValueError(
+                f"rewritten graph {self.graph_name!r} contains a cycle or "
+                "references a removed node"
+            )
+        return graph

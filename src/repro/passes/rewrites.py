@@ -1,0 +1,367 @@
+"""The built-in rewrite passes.
+
+Five semantics-preserving rewrites, each a :class:`~repro.passes.base.GraphPass`
+registered under a stable name:
+
+``fuse-activation``
+    Fold standalone ``Relu`` nodes into the compound schedule units of the
+    paper's Table 2: ``Conv-Relu`` (``Conv2d.activation``), ``Relu-SepConv``
+    (``SeparableConv2d.pre_activation``) and ``Linear`` activations.  Also
+    drops ReLUs that are no-ops because their input is already rectified.
+``cse``
+    Common-subexpression elimination within a block: duplicate *stateless*
+    operators (pools, activations, adds, concats, splits, ...) with identical
+    attributes and inputs collapse to one node.  Operators carrying learned
+    weights (convolutions, linears) are never merged — equal configuration
+    does not imply equal weights.
+``simplify-split-concat``
+    Remove split/concat plumbing: a concat of a complete in-order split of one
+    tensor is that tensor; a split that exactly undoes a concat is the
+    corresponding concat input; a single-input concat is a pass-through.
+``eliminate-dead``
+    Remove ``Identity`` pass-throughs and any operator whose output is no
+    longer consumed and is not a graph output (e.g. splits orphaned by
+    ``simplify-split-concat``).
+``canonicalize``
+    Normalise commutative (``Add``) input order and rewrite the node order to
+    the canonical topological order of :func:`repro.ir.fingerprint.canonical_order`,
+    so structurally equal graphs serialise identically and fingerprint caches
+    hit reliably.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..ir.fingerprint import canonical_order
+from ..ir.graph import Graph
+from .base import GraphPass, register_pass
+from .rewriter import GraphRewriter
+
+__all__ = [
+    "FuseActivationPass",
+    "CommonSubexpressionPass",
+    "SplitConcatSimplifyPass",
+    "EliminateDeadPass",
+    "CanonicalizePass",
+]
+
+#: Operator kinds that carry an ``activation`` attribute a trailing ReLU can
+#: fold into.
+_ACTIVATION_CARRIERS = ("conv2d", "linear", "matmul")
+
+#: Operator kinds whose output is already rectified, making a following ReLU
+#: a no-op (ReLU is idempotent).
+_RECTIFIED_KINDS = ("relu",)
+
+#: Stateless operator kinds CSE may merge: pure functions of their inputs.
+_STATELESS_KINDS = (
+    "relu",
+    "identity",
+    "pool2d",
+    "global_avg_pool",
+    "add",
+    "concat",
+    "split",
+    "flatten",
+    "softmax",
+)
+
+
+def _is_rectified(rw: GraphRewriter, name: str) -> bool:
+    """True when ``name``'s output is provably non-negative (ReLU-ed)."""
+    kind = rw.kind(name)
+    if kind in _RECTIFIED_KINDS:
+        return True
+    return kind in _ACTIVATION_CARRIERS and rw.attrs(name).get("activation") == "relu"
+
+
+@register_pass
+class FuseActivationPass(GraphPass):
+    """Fold standalone ReLUs into the preceding/following compound operator."""
+
+    name = "fuse-activation"
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        rw = GraphRewriter(graph)
+        rewrites = 0
+        for relu in rw.nodes_of_kind("relu"):
+            if relu not in rw.configs:  # already folded this sweep
+                continue
+            producer = rw.inputs(relu)[0]
+            if producer not in rw.configs:
+                continue
+            kind = rw.kind(producer)
+            if kind in _ACTIVATION_CARRIERS:
+                activation = rw.attrs(producer).get("activation")
+                if activation == "relu":
+                    # producer output is already rectified: the ReLU is a no-op.
+                    rw.redirect(relu, producer)
+                    rw.remove(relu)
+                    rewrites += 1
+                    continue
+                if activation is None and rw.consumers(producer) == [relu]:
+                    rw.set_attr(producer, "activation", "relu")
+                    rw.redirect(relu, producer)
+                    rw.remove(relu)
+                    rewrites += 1
+                    continue
+            elif kind in _RECTIFIED_KINDS:
+                rw.redirect(relu, producer)
+                rw.remove(relu)
+                rewrites += 1
+                continue
+            # Relu-SepConv: fold into the *following* separable convolution.
+            consumers = rw.consumers(relu)
+            if len(consumers) == 1 and rw.kind(consumers[0]) == "sep_conv2d":
+                sep = consumers[0]
+                if not rw.attrs(sep)["pre_activation"]:
+                    rw.set_attr(sep, "pre_activation", True)
+                    rw.set_inputs(sep, [producer])
+                    rw.remove(relu)
+                    rewrites += 1
+                elif rw.inputs(sep) == [relu]:
+                    # pre-activation already applies ReLU: relu(relu(x)) == relu(x).
+                    rw.set_inputs(sep, [producer])
+                    rw.remove(relu)
+                    rewrites += 1
+        # A pre-activation over an already-rectified input is a no-op; dropping
+        # it makes graphs built fused and graphs fused by this pass converge to
+        # the same (slightly cheaper) form.
+        for sep in rw.nodes_of_kind("sep_conv2d"):
+            if rw.attrs(sep)["pre_activation"] and _is_rectified(rw, rw.inputs(sep)[0]):
+                rw.set_attr(sep, "pre_activation", False)
+                rewrites += 1
+        if not rewrites:
+            return graph, 0
+        return rw.rebuild(), rewrites
+
+
+@register_pass
+class CommonSubexpressionPass(GraphPass):
+    """Merge duplicate stateless operators within each block.
+
+    Two operators are a common subexpression when they live in the same block
+    and have the same kind, the same attributes and the same inputs (input
+    order is ignored for the commutative ``Add``).  Weighted operators are
+    excluded unless ``include_weighted=True`` — in this IR operators hold no
+    tensor data, but convolutions with equal shapes still denote *different*
+    learned filters in the network the graph models.
+    """
+
+    name = "cse"
+
+    def __init__(self, include_weighted: bool = False):
+        self.include_weighted = include_weighted
+
+    def _mergeable(self, kind: str) -> bool:
+        return self.include_weighted or kind in _STATELESS_KINDS
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        rw = GraphRewriter(graph)
+        rewrites = 0
+        seen: dict[tuple, str] = {}
+        for name in list(rw.order):  # rw.order is topological for the snapshot
+            if name not in rw.configs or name not in rw.block_of:
+                continue
+            kind = rw.kind(name)
+            if kind == "placeholder" or not self._mergeable(kind):
+                continue
+            inputs = rw.inputs(name)
+            if kind == "add":
+                inputs = sorted(inputs)
+            key = (
+                rw.block_of[name],
+                kind,
+                json.dumps(rw.attrs(name), sort_keys=True, default=str),
+                tuple(inputs),
+            )
+            representative = seen.get(key)
+            if representative is None:
+                seen[key] = name
+                continue
+            rw.redirect(name, representative)
+            rw.remove(name)
+            rewrites += 1
+        if not rewrites:
+            return graph, 0
+        return rw.rebuild(), rewrites
+
+
+@register_pass
+class SplitConcatSimplifyPass(GraphPass):
+    """Cancel split/concat plumbing that reassembles or re-slices a tensor."""
+
+    name = "simplify-split-concat"
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        rw = GraphRewriter(graph)
+        rewrites = 0
+        for concat in rw.nodes_of_kind("concat"):
+            if concat not in rw.configs:
+                continue
+            inputs = rw.inputs(concat)
+            if len(inputs) == 1:
+                # concat of one tensor is the tensor itself.
+                rw.redirect(concat, inputs[0])
+                rw.remove(concat)
+                rewrites += 1
+                continue
+            if self._is_complete_split(rw, inputs):
+                source = rw.inputs(inputs[0])[0]
+                rw.redirect(concat, source)
+                rw.remove(concat)
+                rewrites += 1
+                rewrites += self._drop_orphans(rw, inputs)
+        for split in rw.nodes_of_kind("split"):
+            if split not in rw.configs:
+                continue
+            source = rw.inputs(split)[0]
+            if source not in rw.configs or rw.kind(source) != "concat":
+                continue
+            branch = self._matching_concat_input(rw, split, source)
+            if branch is not None:
+                rw.redirect(split, branch)
+                rw.remove(split)
+                rewrites += 1
+                rewrites += self._drop_orphans(rw, [source])
+        if not rewrites:
+            return graph, 0
+        return rw.rebuild(), rewrites
+
+    @staticmethod
+    def _drop_orphans(rw: GraphRewriter, candidates: list[str]) -> int:
+        """Remove nodes this rewrite just orphaned, cascading upstream.
+
+        Must happen inside this pass: once the graph is rebuilt, a node with
+        no consumers is indistinguishable from a legitimate graph output.
+        """
+        removed = 0
+        worklist = list(candidates)
+        while worklist:
+            name = worklist.pop()
+            if (
+                name in rw.configs
+                and rw.kind(name) != "placeholder"
+                and name not in rw.outputs
+                and not rw.consumers(name)
+            ):
+                producers = rw.inputs(name)
+                rw.remove(name)
+                removed += 1
+                worklist.extend(producers)
+        return removed
+
+    @staticmethod
+    def _is_complete_split(rw: GraphRewriter, inputs: list[str]) -> bool:
+        """True when ``inputs`` are the in-order sections of one full split."""
+        if any(i not in rw.configs or rw.kind(i) != "split" for i in inputs):
+            return False
+        if len(set(inputs)) != len(inputs):
+            return False
+        sources = {rw.inputs(i)[0] for i in inputs}
+        if len(sources) != 1:
+            return False
+        sections = rw.attrs(inputs[0])["sections"]
+        if any(rw.attrs(i)["sections"] != sections for i in inputs[1:]):
+            return False
+        indices = [rw.attrs(i)["index"] for i in inputs]
+        return indices == list(range(len(sections)))
+
+    @staticmethod
+    def _matching_concat_input(
+        rw: GraphRewriter, split: str, concat: str
+    ) -> str | None:
+        """The concat input that ``split`` slices back out exactly, if any."""
+        sections = rw.attrs(split)["sections"]
+        branches = rw.inputs(concat)
+        if len(sections) != len(branches):
+            return None
+        channels = []
+        for branch in branches:
+            shape = rw.output_shape(branch)
+            if shape is None or shape.channels is None:
+                return None
+            channels.append(shape.channels)
+        if channels != list(sections):
+            return None
+        return branches[rw.attrs(split)["index"]]
+
+
+@register_pass
+class EliminateDeadPass(GraphPass):
+    """Remove Identity pass-throughs and unconsumed non-output operators.
+
+    Graph outputs are the nodes with no consumers *at pass entry*, so the
+    dead-node sweep only fires for nodes orphaned by this pass's own identity
+    removal (or by a subclass's extra rewrites) — passes that orphan nodes
+    must clean them up before rebuilding, as ``simplify-split-concat`` does.
+    """
+
+    name = "eliminate-dead"
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        rw = GraphRewriter(graph)
+        rewrites = 0
+        for identity in rw.nodes_of_kind("identity"):
+            source = rw.inputs(identity)[0]
+            rw.redirect(identity, source)
+            rw.remove(identity)
+            rewrites += 1
+        changed = True
+        while changed:
+            changed = False
+            for name in list(rw.configs):
+                if rw.kind(name) == "placeholder" or name in rw.outputs:
+                    continue
+                if not rw.consumers(name):
+                    rw.remove(name)
+                    rewrites += 1
+                    changed = True
+        if not rewrites:
+            return graph, 0
+        return rw.rebuild(), rewrites
+
+
+@register_pass
+class CanonicalizePass(GraphPass):
+    """Normalise node order (and commutative input order) for stable fingerprints.
+
+    After this pass, two structurally equal graphs — however they were built
+    or rewritten — serialise to byte-identical JSON, and
+    :func:`repro.ir.fingerprint.graph_fingerprint` equals the fingerprint of
+    any other canonicalized copy.  The pass is idempotent, so it reports zero
+    rewrites on the second application and never blocks fixed-point
+    convergence.
+    """
+
+    name = "canonicalize"
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        rw = GraphRewriter(graph)
+        rewrites = 0
+
+        def producer_key(name: str):
+            # Position-independent, so re-sorting is idempotent across runs.
+            return (
+                rw.kind(name),
+                json.dumps(rw.attrs(name), sort_keys=True, default=str),
+                name,
+            )
+
+        for add in rw.nodes_of_kind("add"):
+            inputs = rw.inputs(add)
+            ordered = sorted(inputs, key=producer_key)
+            if ordered != inputs:
+                rw.set_inputs(add, ordered)
+                rewrites += 1
+        intermediate = rw.rebuild() if rewrites else graph
+        order = canonical_order(intermediate)
+        if order != list(intermediate.nodes):
+            rw = GraphRewriter(intermediate)
+            rw.order = order
+            intermediate = rw.rebuild()
+            rewrites += 1
+        if not rewrites:
+            return graph, 0
+        return intermediate, rewrites

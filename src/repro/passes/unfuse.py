@@ -1,0 +1,64 @@
+"""Expand compound operators into their unfused "frontend" form.
+
+The model zoo hand-fuses activations at construction time (``Conv2d`` carries
+``activation``, ``SeparableConv2d`` carries ``pre_activation`` — the compound
+schedule units of the paper's Table 2).  Graphs imported from a real frontend
+arrive *unfused*: every activation is its own node.  :func:`unfuse_activations`
+produces exactly that raw form, which is what the pass-ablation experiment
+(``ios-bench ablation-passes``) optimises back down — and what the fusion-pass
+tests round-trip through.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from .rewriter import GraphRewriter
+
+__all__ = ["unfuse_activations"]
+
+
+def unfuse_activations(graph: Graph) -> Graph:
+    """Split every fused activation out into a standalone ``Relu`` node.
+
+    ``Conv2d``/``Linear`` with ``activation="relu"`` become the bare operator
+    followed by a ``Relu``; ``SeparableConv2d`` with ``pre_activation=True``
+    becomes a ``Relu`` followed by the bare separable convolution.  The result
+    computes the same function with more (smaller) schedulable operators; the
+    ``fuse-activation`` pass inverts the transformation.
+    """
+    rw = GraphRewriter(graph)
+    for name in list(rw.order):
+        if name not in rw.configs:
+            continue
+        kind = rw.kind(name)
+        block = rw.block_of.get(name)
+        if kind in ("conv2d", "linear", "matmul"):
+            if rw.attrs(name).get("activation") != "relu":
+                continue
+            rw.set_attr(name, "activation", None)
+            relu = f"{name}__act"
+            # Consumers of the operator must now read the standalone ReLU.
+            for consumer in rw.consumers(name):
+                rw.set_inputs(
+                    consumer,
+                    [relu if i == name else i for i in rw.inputs(consumer)],
+                )
+            if name in rw.outputs:
+                rw.outputs.discard(name)
+                rw.outputs.add(relu)
+            rw.insert(
+                {"kind": "relu", "name": relu, "inputs": [name], "attrs": {}},
+                block=block,
+                after=name,
+            )
+        elif kind == "sep_conv2d" and rw.attrs(name).get("pre_activation"):
+            rw.set_attr(name, "pre_activation", False)
+            relu = f"{name}__pre"
+            source = rw.inputs(name)[0]
+            rw.insert(
+                {"kind": "relu", "name": relu, "inputs": [source], "attrs": {}},
+                block=block,
+                after=source,
+            )
+            rw.set_inputs(name, [relu])
+    return rw.rebuild()

@@ -58,6 +58,7 @@ def run_serving_comparison(
     variant: str = "ios-both",
     registry_root: str | None = None,
     seed: int = 0,
+    passes: bool = False,
 ) -> ExperimentTable:
     """Dynamic batching vs. the no-batching baseline across traffic patterns.
 
@@ -78,16 +79,17 @@ def run_serving_comparison(
         "cumulative number of IOS scheduler runs it performed so far",
     )
 
-    registry = ScheduleRegistry(root=registry_root, variant=variant)
+    registry = ScheduleRegistry(root=registry_root, variant=variant, passes=passes)
     devices = (device,) * num_workers
     configs = {
         "dynamic": ServingConfig(
             model=model, devices=devices, batch_sizes=batch_sizes,
             policy=BatchPolicy(max_batch_size=max(batch_sizes), max_wait_ms=max_wait_ms),
-            variant=variant,
+            variant=variant, passes=passes,
         ),
         "unbatched": ServingConfig.unbatched(
             model=model, devices=devices, batch_sizes=batch_sizes, variant=variant,
+            passes=passes,
         ),
     }
     for pattern in patterns:

@@ -13,7 +13,15 @@ second run of any serving experiment performs **zero** scheduler searches
 
 Layout on disk::
 
-    <root>/<model>/<device>__<variant>__bs<batch_size>.json
+    <root>/<model>/<device>__<variant>__bs<batch_size>__<fingerprint>.json
+
+where ``<fingerprint>`` is the canonical structural fingerprint
+(:func:`repro.ir.graph_fingerprint`) of the exact graph the schedule was
+searched for.  The fingerprint is part of the key: a schedule compiled for a
+pass-optimised graph can never be served for the raw graph (or vice versa),
+and entries persisted before a model definition changed simply miss instead of
+silently replaying stale stages.  Legacy fingerprint-less files (the pre-
+fingerprint layout) are treated as misses with a warning.
 
 Each file is exactly ``Schedule.to_dict()`` — readable, diffable, and
 loadable with :meth:`Schedule.load` outside the registry.
@@ -22,6 +30,7 @@ loadable with :meth:`Schedule.load` outside the registry.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
@@ -31,6 +40,7 @@ from ..core.dp_scheduler import IOSScheduler, SchedulerConfig
 from ..core.schedule import Schedule
 from ..hardware.device import DeviceSpec
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
 from ..models import build_model
 
@@ -39,22 +49,39 @@ __all__ = ["RegistryKey", "RegistryStats", "RegistryError", "ScheduleRegistry"]
 
 @dataclass(frozen=True, order=True)
 class RegistryKey:
-    """Identity of one specialised schedule."""
+    """Identity of one specialised schedule.
+
+    ``fingerprint`` is the structural fingerprint of the graph the schedule
+    belongs to; an empty string marks a legacy (pre-fingerprint) entry, which
+    the registry never serves.
+    """
 
     model: str
     batch_size: int
     device: str
     variant: str = "ios-both"
+    fingerprint: str = ""
 
     def filename(self) -> str:
-        return f"{self.device}__{self.variant}__bs{self.batch_size}.json"
+        stem = f"{self.device}__{self.variant}__bs{self.batch_size}"
+        if self.fingerprint:
+            stem += f"__{self.fingerprint}"
+        return f"{stem}.json"
 
     @classmethod
     def from_path(cls, model: str, path: Path) -> "RegistryKey":
-        device, variant, batch = path.stem.split("__")
+        parts = path.stem.split("__")
+        if len(parts) == 3:
+            device, variant, batch = parts
+            fingerprint = ""
+        elif len(parts) == 4:
+            device, variant, batch, fingerprint = parts
+        else:
+            raise ValueError(f"malformed registry filename: {path.name}")
         if not batch.startswith("bs"):
             raise ValueError(f"malformed registry filename: {path.name}")
-        return cls(model=model, batch_size=int(batch[2:]), device=device, variant=variant)
+        return cls(model=model, batch_size=int(batch[2:]), device=device,
+                   variant=variant, fingerprint=fingerprint)
 
 
 class RegistryError(RuntimeError):
@@ -73,6 +100,7 @@ class RegistryStats:
     disk_hits: int = 0
     searches: int = 0
     corrupt_entries: int = 0
+    legacy_entries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -85,6 +113,7 @@ class RegistryStats:
             "disk_hits": self.disk_hits,
             "searches": self.searches,
             "corrupt_entries": self.corrupt_entries,
+            "legacy_entries": self.legacy_entries,
         }
 
 
@@ -113,6 +142,12 @@ class ScheduleRegistry:
     scheduler_factory:
         Override the scheduler used on a miss (tests inject counting or
         failing schedulers here).
+    passes:
+        Run the graph-rewriting pipeline of :mod:`repro.passes` on every
+        built graph before scheduling/serving it.  ``True`` uses the default
+        pipeline; a :class:`~repro.passes.PassManager` runs that one.  The
+        persisted key fingerprints the *rewritten* graph, so optimised and
+        raw schedules never collide.
     """
 
     def __init__(
@@ -122,23 +157,28 @@ class ScheduleRegistry:
         variant: str = "ios-both",
         graph_builder: Callable[[str, int], Graph] | None = None,
         scheduler_factory: Callable[[DeviceSpec, KernelProfile, str], IOSScheduler] | None = None,
+        passes=False,
     ):
         self.root = Path(root) if root is not None else None
         self.profile = profile
         self.variant = variant
+        self.passes = passes
         self._graph_builder = graph_builder or (
             lambda model, batch_size: build_model(model, batch_size=batch_size)
         )
         self._scheduler_factory = scheduler_factory or _default_scheduler
         self._cache: dict[RegistryKey, Schedule] = {}
         self._graphs: dict[tuple[str, int], Graph] = {}
+        self._fingerprints: dict[tuple[str, int], str] = {}
+        self._warned_legacy: set[Path] = set()
         self.stats = RegistryStats()
 
     # ----------------------------------------------------------------- helpers
     def key(self, model: str, batch_size: int, device: DeviceSpec | str) -> RegistryKey:
         device_name = device if isinstance(device, str) else device.name
         return RegistryKey(model=model, batch_size=batch_size, device=device_name,
-                           variant=self.variant)
+                           variant=self.variant,
+                           fingerprint=self.fingerprint_for(model, batch_size))
 
     def path_for(self, key: RegistryKey) -> Path | None:
         if self.root is None:
@@ -146,11 +186,27 @@ class ScheduleRegistry:
         return self.root / key.model / key.filename()
 
     def graph_for(self, model: str, batch_size: int) -> Graph:
-        """The computation graph for ``model`` at ``batch_size`` (cached)."""
+        """The (optionally pass-optimised) graph served for ``(model, batch)``."""
         cache_key = (model, batch_size)
         if cache_key not in self._graphs:
-            self._graphs[cache_key] = self._graph_builder(model, batch_size)
+            graph = self._graph_builder(model, batch_size)
+            if self.passes:
+                from ..passes import optimize_graph
+
+                graph = optimize_graph(
+                    graph, None if self.passes is True else self.passes
+                ).graph
+            self._graphs[cache_key] = graph
         return self._graphs[cache_key]
+
+    def fingerprint_for(self, model: str, batch_size: int) -> str:
+        """Structural fingerprint of the graph served for ``(model, batch)``."""
+        cache_key = (model, batch_size)
+        if cache_key not in self._fingerprints:
+            self._fingerprints[cache_key] = graph_fingerprint(
+                self.graph_for(model, batch_size)
+            )
+        return self._fingerprints[cache_key]
 
     # ----------------------------------------------------------------- lookups
     def get(self, model: str, batch_size: int, device: DeviceSpec) -> Schedule:
@@ -192,7 +248,11 @@ class ScheduleRegistry:
             self.get(model, batch_size, device)
 
     def cached_batch_sizes(self, model: str, device: DeviceSpec | str) -> list[int]:
-        """Batch sizes with a resolvable entry for ``(model, device)``."""
+        """Batch sizes with a servable entry for ``(model, device)``.
+
+        Disk entries only count when their fingerprint matches the graph this
+        registry would serve today — legacy or stale files are not servable.
+        """
         device_name = device if isinstance(device, str) else device.name
         sizes = {
             key.batch_size
@@ -204,13 +264,23 @@ class ScheduleRegistry:
             if model_dir.is_dir():
                 for path in model_dir.glob(f"{device_name}__{self.variant}__bs*.json"):
                     try:
-                        sizes.add(RegistryKey.from_path(model, path).batch_size)
+                        key = RegistryKey.from_path(model, path)
                     except ValueError:
                         continue
+                    if key.fingerprint and key.fingerprint == self.fingerprint_for(
+                        model, key.batch_size
+                    ):
+                        sizes.add(key.batch_size)
         return sorted(sizes)
 
     def keys(self) -> list[RegistryKey]:
-        """All keys resolvable without a search (memory plus disk)."""
+        """Every key present in memory or on disk — a raw inventory.
+
+        Unlike :meth:`cached_batch_sizes`, this does *not* filter by the
+        currently-served graph: legacy fingerprint-less entries and entries
+        fingerprinted for an older model definition are listed too, even
+        though :meth:`get` would treat them as misses and recompile.
+        """
         found = set(self._cache)
         if self.root is not None and self.root.is_dir():
             for model_dir in self.root.iterdir():
@@ -226,7 +296,10 @@ class ScheduleRegistry:
     # ------------------------------------------------------------ persistence
     def _load(self, key: RegistryKey) -> Schedule | None:
         path = self.path_for(key)
-        if path is None or not path.exists():
+        if path is None:
+            return None
+        if not path.exists():
+            self._warn_if_legacy(key, path)
             return None
         try:
             schedule = Schedule.load(path)
@@ -244,6 +317,28 @@ class ScheduleRegistry:
                 f"{schedule.graph_name!r}, expected {expected_graph.name!r}"
             )
         return schedule
+
+    def _warn_if_legacy(self, key: RegistryKey, path: Path) -> None:
+        """Warn (once per file) when only a fingerprint-less entry exists.
+
+        A legacy file may have been searched for a different graph than the
+        one this registry serves today, so reusing it silently could replay a
+        stale schedule; it is treated as a miss and left on disk untouched.
+        """
+        legacy_path = path.with_name(
+            RegistryKey(key.model, key.batch_size, key.device, key.variant).filename()
+        )
+        if not legacy_path.exists():
+            return
+        self.stats.legacy_entries += 1
+        if legacy_path not in self._warned_legacy:
+            self._warned_legacy.add(legacy_path)
+            warnings.warn(
+                f"ignoring legacy schedule entry {legacy_path} (no graph "
+                f"fingerprint in its key; expected {key.fingerprint!r}): "
+                "recompiling instead of risking a stale schedule",
+                stacklevel=3,
+            )
 
     def _persist(self, key: RegistryKey, schedule: Schedule) -> None:
         path = self.path_for(key)

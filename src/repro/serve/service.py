@@ -52,6 +52,10 @@ class ServingConfig:
     variant: str = "ios-both"
     #: Directory for persisted schedules; ``None`` keeps the registry in memory.
     registry_root: str | None = None
+    #: Run the :mod:`repro.passes` rewrite pipeline on served graphs; schedule
+    #: keys fingerprint the rewritten graph, so flipping this never reuses
+    #: schedules searched for the other form.
+    passes: bool = False
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -78,7 +82,8 @@ class InferenceService:
         self.config = config
         self.profile = profile
         self.registry = registry or ScheduleRegistry(
-            root=config.registry_root, profile=profile, variant=config.variant
+            root=config.registry_root, profile=profile, variant=config.variant,
+            passes=config.passes,
         )
         self.pool = WorkerPool(
             [get_device(name) for name in config.devices], profile=profile

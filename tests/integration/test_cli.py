@@ -14,7 +14,7 @@ class TestCLI:
             "figure1", "figure2", "table1", "table2", "figure6", "figure7", "figure8",
             "figure9", "table3-batch", "table3-device", "figure10", "figure11", "figure12",
             "figure13", "figure14", "figure15", "figure16", "resnet-note",
-            "ablation-cost-model", "ablation-blockwise",
+            "ablation-cost-model", "ablation-blockwise", "ablation-passes",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -102,6 +102,28 @@ class TestServeCLI:
     def test_serve_rejects_bad_arguments_cleanly(self, bad):
         with pytest.raises(SystemExit):
             main(["serve"] + bad)
+
+    def test_serve_passes_flag_round_trips_warm(self, capsys, tmp_path):
+        # A warm serve run on a pass-optimised graph must still perform zero
+        # scheduler searches: the fingerprinted registry entries are reused.
+        args = self.SERVE_ARGS + ["--passes", "--registry-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "served 60 requests" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "registry  : 0 searches" in second
+
+    def test_serve_passes_shares_entries_when_rewrites_are_noops(self, capsys, tmp_path):
+        # squeezenet is already fully fused, so the pipeline is a no-op and
+        # the fingerprint matches the raw graph: flipping --passes may safely
+        # reuse the persisted schedules.  (Graphs that *do* rewrite get a new
+        # fingerprint and recompile — covered by the registry unit tests.)
+        assert main(self.SERVE_ARGS + ["--registry-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(self.SERVE_ARGS + ["--passes", "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "registry  : 0 searches" in out
 
     def test_serve_compare_forwards_pattern(self, capsys):
         assert main([

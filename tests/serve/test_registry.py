@@ -81,14 +81,28 @@ class TestPutAndEnumeration:
         registry.get("beta", 2, v100)
         fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
         assert fresh.keys() == [
-            RegistryKey("alpha", 1, "v100", "ios-both"),
-            RegistryKey("beta", 2, "v100", "ios-both"),
+            registry.key("alpha", 1, v100),
+            registry.key("beta", 2, v100),
         ]
 
     def test_key_round_trips_through_filename(self):
-        key = RegistryKey("m", 32, "rtx2080ti", "ios-merge")
+        key = RegistryKey("m", 32, "rtx2080ti", "ios-merge", "0123456789abcdef")
         parsed = RegistryKey.from_path("m", Path(key.filename()))
         assert parsed == key
+
+    def test_legacy_filename_round_trips_with_empty_fingerprint(self):
+        legacy = RegistryKey("m", 4, "v100", "ios-both")
+        assert legacy.filename() == "v100__ios-both__bs4.json"
+        parsed = RegistryKey.from_path("m", Path(legacy.filename()))
+        assert parsed == legacy
+        assert parsed.fingerprint == ""
+
+    def test_key_embeds_the_served_graph_fingerprint(self, registry, v100):
+        from repro.ir import graph_fingerprint
+
+        key = registry.key("m", 1, v100)
+        assert key.fingerprint == graph_fingerprint(registry.graph_for("m", 1))
+        assert key.fingerprint in registry.path_for(key).name
 
 
 class TestFailureModes:
@@ -123,6 +137,56 @@ class TestFailureModes:
         with pytest.raises(RegistryError):
             registry.get("m", 1, v100)
 
+    def test_legacy_entry_is_a_miss_with_a_warning(self, registry, tmp_path, v100):
+        # An entry persisted before fingerprints may describe a different
+        # graph: it must be recompiled, not silently reused.
+        compiled = registry.get("m", 1, v100)
+        key = registry.key("m", 1, v100)
+        legacy_path = tmp_path / "m" / RegistryKey("m", 1, "v100", "ios-both").filename()
+        registry.path_for(key).rename(legacy_path)
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        with pytest.warns(UserWarning, match="legacy schedule entry"):
+            reloaded = fresh.get("m", 1, v100)
+        assert fresh.stats.searches == 1
+        assert fresh.stats.disk_hits == 0
+        assert fresh.stats.legacy_entries == 1
+        assert reloaded == compiled  # same graph => same recompiled schedule
+        # The legacy file stays on disk untouched; the new entry sits beside it.
+        assert legacy_path.exists()
+        assert fresh.path_for(key).exists()
+
+    def test_legacy_warning_fires_once_per_file(self, registry, tmp_path, v100):
+        registry.get("m", 1, v100)
+        key = registry.key("m", 1, v100)
+        legacy_path = tmp_path / "m" / RegistryKey("m", 1, "v100", "ios-both").filename()
+        registry.path_for(key).rename(legacy_path)
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        with pytest.warns(UserWarning):
+            fresh.get("m", 1, v100)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            # Entry now resolves from memory/disk; no further warning.
+            fresh.get("m", 1, v100)
+
+    def test_changed_graph_misses_instead_of_reusing_stale_schedule(
+            self, registry, tmp_path, v100):
+        registry.get("m", 1, v100)
+        # The model definition "changes": same name, different structure.
+        longer = ScheduleRegistry(
+            root=tmp_path,
+            graph_builder=lambda model, batch_size: chain_graph(
+                length=5, batch_size=batch_size),
+        )
+        schedule = longer.get("m", 1, v100)
+        assert longer.stats.searches == 1  # old entry must not satisfy this
+        assert longer.stats.disk_hits == 0
+        assert len(schedule.operators()) == len(
+            longer.graph_for("m", 1).schedulable_names())
+
     def test_variant_is_part_of_the_key(self, tmp_path, v100):
         both = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder, variant="ios-both")
         merge = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder, variant="ios-merge")
@@ -130,3 +194,33 @@ class TestFailureModes:
         merge.get("m", 1, v100)
         assert merge.stats.searches == 1  # no cross-variant reuse
         assert both.path_for(both.key("m", 1, v100)) != merge.path_for(merge.key("m", 1, v100))
+
+
+class TestPassOptimizedEntries:
+    def rebuildable(self, model: str, batch_size: int):
+        # A graph with fusion opportunities: unfused conv + relu chain.
+        from repro.ir import GraphBuilder, TensorShape
+
+        b = GraphBuilder("fusable", TensorShape(batch_size, 3, 8, 8))
+        x = b.conv2d("conv", b.input_name, out_channels=4, kernel=3, activation=None)
+        b.relu("act", x)
+        return b.build()
+
+    def test_optimized_and_raw_schedules_never_collide(self, tmp_path, v100):
+        raw = ScheduleRegistry(root=tmp_path, graph_builder=self.rebuildable)
+        opt = ScheduleRegistry(root=tmp_path, graph_builder=self.rebuildable, passes=True)
+        raw.get("m", 1, v100)
+        opt.get("m", 1, v100)
+        assert opt.stats.searches == 1  # the raw entry must not be reused
+        assert raw.key("m", 1, v100).fingerprint != opt.key("m", 1, v100).fingerprint
+        # The optimized graph fused conv+relu into one schedulable operator.
+        assert len(opt.graph_for("m", 1).schedulable_names()) == 1
+        assert len(raw.graph_for("m", 1).schedulable_names()) == 2
+
+    def test_optimized_entries_are_warm_across_registries(self, tmp_path, v100):
+        first = ScheduleRegistry(root=tmp_path, graph_builder=self.rebuildable, passes=True)
+        first.get("m", 1, v100)
+        second = ScheduleRegistry(root=tmp_path, graph_builder=self.rebuildable, passes=True)
+        second.get("m", 1, v100)
+        assert second.stats.searches == 0
+        assert second.stats.disk_hits == 1

@@ -1,0 +1,51 @@
+"""Tests for the pass-pipeline ablation experiment (ios-bench ablation-passes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_passes import run_pass_ablation
+from repro.passes import DEFAULT_PASSES
+
+
+@pytest.fixture(scope="module")
+def table():
+    # squeezenet keeps the DP searches fast; the CLI sweeps the full
+    # inception_v3/nasnet_a pair with identical code.
+    return run_pass_ablation(models=("squeezenet",))
+
+
+class TestPassAblation:
+    def test_optimized_graph_has_fewer_operators(self, table):
+        raw = next(r for r in table.rows if r["graph"] == "raw")
+        opt = next(r for r in table.rows if r["graph"] == "optimized")
+        assert opt["operators"] < raw["operators"]
+
+    def test_optimized_latency_is_no_worse(self, table):
+        raw = next(r for r in table.rows if r["graph"] == "raw")
+        opt = next(r for r in table.rows if r["graph"] == "optimized")
+        assert opt["latency_ms"] <= raw["latency_ms"] + 1e-9
+
+    def test_search_effort_is_reduced(self, table):
+        raw = next(r for r in table.rows if r["graph"] == "raw")
+        opt = next(r for r in table.rows if r["graph"] == "optimized")
+        assert opt["transitions"] < raw["transitions"]
+        assert opt["search_s"] < raw["search_s"]
+
+    def test_pass_manager_stats_are_reported(self, table):
+        pass_rows = [r for r in table.rows if str(r["graph"]).startswith("pass:")]
+        assert {r["graph"] for r in pass_rows} == {
+            f"pass:{name}" for name in DEFAULT_PASSES
+        }
+        opt = next(r for r in table.rows if r["graph"] == "optimized")
+        assert sum(r["rewrites"] for r in pass_rows) == opt["rewrites"]
+        assert all(r["pass_time_s"] >= 0 for r in pass_rows)
+
+    def test_csv_round_trip_carries_the_stats(self, table, tmp_path):
+        text = table.to_csv(tmp_path / "ablation_passes.csv")
+        assert "pass:fuse-activation" in text
+        assert "rewrites" in text.splitlines()[0]
+
+    def test_multiple_models_stack_rows(self):
+        table = run_pass_ablation(models=("squeezenet", "figure2_block"))
+        assert {r["model"] for r in table.rows} == {"squeezenet", "figure2_block"}

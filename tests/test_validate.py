@@ -1,0 +1,126 @@
+"""Tests for ir/validate.py: every documented invariant must fire.
+
+``validate_graph`` documents six structural invariants; each test below
+constructs a graph violating exactly one of them and asserts the matching
+:class:`GraphValidationError`.  (The builder enforces most invariants during
+construction, so several violations are produced by surgically corrupting an
+already-built graph — exactly what a buggy rewrite pass would do, which is why
+the pass manager re-validates after every pass.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    Graph,
+    GraphBuilder,
+    GraphValidationError,
+    Placeholder,
+    Relu,
+    TensorShape,
+    validate_graph,
+)
+
+SHAPE = TensorShape(1, 4, 8, 8)
+
+
+def valid_graph():
+    b = GraphBuilder("ok", SHAPE)
+    with b.block("one"):
+        x = b.conv2d("conv1", b.input_name, out_channels=4, kernel=3)
+    with b.block("two"):
+        b.conv2d("conv2", x, out_channels=4, kernel=3)
+    return b.build()
+
+
+def test_valid_graph_passes():
+    validate_graph(valid_graph())
+
+
+class TestInvariant1Placeholders:
+    def test_zero_placeholders(self):
+        graph = Graph("empty")
+        block = graph.add_block("blk")
+        with pytest.raises(GraphValidationError, match="exactly one input placeholder"):
+            validate_graph(graph)
+
+    def test_two_placeholders(self):
+        graph = Graph("two_inputs")
+        graph.add_node(Placeholder("in1", SHAPE))
+        graph.add_node(Placeholder("in2", SHAPE))
+        with pytest.raises(GraphValidationError, match="found 2"):
+            validate_graph(graph)
+
+
+class TestInvariant2Acyclicity:
+    def test_cycle_is_detected(self):
+        graph = valid_graph()
+        graph.nodes["conv1"].inputs = ("conv2",)
+        graph._consumers["conv2"].append("conv1")
+        graph._consumers["input"].remove("conv1")
+        with pytest.raises(GraphValidationError, match="cycle"):
+            validate_graph(graph)
+
+
+class TestInvariant3Inputs:
+    def test_operator_without_inputs(self):
+        graph = valid_graph()
+        graph.nodes["conv2"].inputs = ()
+        with pytest.raises(GraphValidationError, match="has no inputs"):
+            validate_graph(graph)
+
+    def test_unknown_input_reference(self):
+        graph = valid_graph()
+        graph.nodes["conv2"].inputs = ("ghost",)
+        with pytest.raises(GraphValidationError, match="unknown input 'ghost'"):
+            validate_graph(graph)
+
+
+class TestInvariant4BoundShapes:
+    def test_unbound_output_shape(self):
+        graph = valid_graph()
+        graph.nodes["conv2"].output_shape = None
+        with pytest.raises(GraphValidationError, match="no bound output shape"):
+            validate_graph(graph)
+
+
+class TestInvariant5BlockMembership:
+    def test_operator_in_no_block(self):
+        graph = valid_graph()
+        graph.blocks[1].node_names.remove("conv2")
+        with pytest.raises(GraphValidationError, match="does not belong to any block"):
+            validate_graph(graph)
+
+    def test_operator_in_two_blocks(self):
+        graph = valid_graph()
+        graph.blocks[1].node_names.append("conv1")
+        with pytest.raises(GraphValidationError, match="belongs to both block"):
+            validate_graph(graph)
+
+    def test_block_references_unknown_node(self):
+        graph = valid_graph()
+        graph.blocks[0].node_names.append("ghost")
+        with pytest.raises(GraphValidationError, match="references unknown node"):
+            validate_graph(graph)
+
+
+class TestInvariant6BlockOrder:
+    def test_backward_edge_across_blocks(self):
+        # conv2 (block "two") feeding a node in block "one" breaks sequential
+        # block execution.
+        graph = valid_graph()
+        relu = Relu("late_relu", ["conv2"])
+        graph.add_node(relu, graph.blocks[0])
+        with pytest.raises(GraphValidationError, match="goes backwards across blocks"):
+            validate_graph(graph)
+
+    def test_placeholder_edges_are_exempt(self):
+        # The single input placeholder belongs to no block; consuming it from
+        # any block is fine.
+        b = GraphBuilder("ph", SHAPE)
+        with b.block("one"):
+            b.conv2d("conv1", b.input_name, out_channels=4, kernel=3)
+        with b.block("two"):
+            b.conv2d("conv2", b.input_name, out_channels=4, kernel=3)
+        validate_graph(b.build())
