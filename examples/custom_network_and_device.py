@@ -9,9 +9,11 @@ for their own model:
    (here: an SSD-style detection head with several parallel prediction
    branches);
 2. describe a hypothetical accelerator by tweaking a device preset;
-3. run IOS with different pruning strategies and inspect the trade-off between
-   search cost and schedule quality (the Figure 9 trade-off, on your own model);
-4. export the optimised schedule to JSON for deployment.
+3. compile with :class:`repro.engine.Engine` under different pruning
+   strategies and inspect the trade-off between search cost and schedule
+   quality (the Figure 9 trade-off, on your own model);
+4. export the full compiled artifact to JSON for deployment — a warm start
+   (``Engine.load``) rebuilds the executable plan with zero searches.
 
 Run with::
 
@@ -24,15 +26,8 @@ import json
 import tempfile
 from pathlib import Path
 
-from repro import GraphBuilder, TensorShape, get_device
-from repro.core import (
-    IOSScheduler,
-    PruningStrategy,
-    SchedulerConfig,
-    SimulatedCostModel,
-    measure_schedule,
-    sequential_schedule,
-)
+from repro import Engine, GraphBuilder, TensorShape, get_device
+from repro.core import PruningStrategy, measure_schedule, sequential_schedule
 
 
 def build_detection_head(batch_size: int = 1):
@@ -69,24 +64,21 @@ def main() -> None:
     print(f"{'pruning':<12} {'latency (ms)':>13} {'speedup':>8} {'measurements':>13}")
     print(f"{'sequential':<12} {sequential_latency:>13.3f} {'1.00x':>8} {'-':>13}")
 
-    best_schedule = None
+    best = None
     for r, s in [(1, 2), (2, 4), (3, 8)]:
-        cost_model = SimulatedCostModel(device)
-        scheduler = IOSScheduler(
-            cost_model, SchedulerConfig(pruning=PruningStrategy(max_group_size=r, max_groups=s))
-        )
-        result = scheduler.optimize_graph(graph)
-        latency = measure_schedule(graph, result.schedule, device).latency_ms
-        print(f"{f'r={r}, s={s}':<12} {latency:>13.3f} "
-              f"{sequential_latency / latency:>7.2f}x {cost_model.num_measurements:>13d}")
-        best_schedule = result.schedule
+        engine = Engine(device, pruning=PruningStrategy(max_group_size=r, max_groups=s))
+        best = engine.compile(graph)
+        print(f"{f'r={r}, s={s}':<12} {best.latency_ms():>13.3f} "
+              f"{sequential_latency / best.latency_ms():>7.2f}x "
+              f"{best.stats.num_measurements:>13d}")
 
-    # Export the schedule for deployment / inspection.
-    output = Path(tempfile.gettempdir()) / "detection_head_ios_schedule.json"
-    best_schedule.save(output)
-    stages = json.loads(output.read_text())["stages"]
-    print(f"\nExported the optimised schedule to {output} ({len(stages)} stages)")
-    print(best_schedule.describe(graph))
+    # Export the full compiled artifact for deployment / inspection; a warm
+    # start (Engine.load) rebuilds the executable plan with zero searches.
+    output = Path(tempfile.gettempdir()) / "detection_head_ios_compiled.json"
+    best.save(output)
+    stages = json.loads(output.read_text())["schedule"]["stages"]
+    print(f"\nExported the compiled artifact to {output} ({len(stages)} stages)")
+    print(best.schedule.describe(graph))
 
 
 if __name__ == "__main__":

@@ -10,19 +10,20 @@ The package is organised as:
 * :mod:`repro.runtime` — execution engine, profiler, warp tracer, memory planner;
 * :mod:`repro.models` — CNN model zoo (Inception V3, RandWire, NasNet-A, SqueezeNet, ...);
 * :mod:`repro.core` — the IOS dynamic-programming scheduler and baselines;
+* :mod:`repro.engine` — the staged compile pipeline (``Engine`` →
+  ``CompiledModel``) every entry point funnels through: passes → DP search →
+  lowering, with a fingerprint-keyed cache and serializable artifacts;
 * :mod:`repro.frameworks` — simulated baseline frameworks (TF, XLA, TASO, TVM, TensorRT);
 * :mod:`repro.experiments` — one harness per table/figure of the paper;
-* :mod:`repro.serve` — batch-aware inference serving: persistent schedule
+* :mod:`repro.serve` — batch-aware inference serving: persistent compiled-model
   registry, dynamic batcher, simulated worker pool, synthetic traffic.
 
 Quick start::
 
-    from repro import optimize, get_device, build_model, measure_schedule
+    from repro import Engine, build_model
 
-    graph = build_model("inception_v3", batch_size=1)
-    device = get_device("v100")
-    schedule = optimize(graph, device)
-    print(measure_schedule(graph, schedule, device).latency_ms)
+    compiled = Engine("v100").compile(build_model("inception_v3", batch_size=1))
+    print(compiled.latency_ms())
 """
 
 from .ir import Graph, GraphBuilder, TensorShape
@@ -37,11 +38,13 @@ from .core import (
     SimulatedCostModel,
     greedy_schedule,
     measure_schedule,
+    normalize_variant,
     schedule_latency_ms,
     sequential_schedule,
 )
+from .engine import CompiledModel, Engine, get_engine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "TensorShape",
@@ -63,6 +66,10 @@ __all__ = [
     "greedy_schedule",
     "measure_schedule",
     "schedule_latency_ms",
+    "normalize_variant",
+    "Engine",
+    "CompiledModel",
+    "get_engine",
     "optimize",
     "__version__",
 ]
@@ -74,7 +81,12 @@ def optimize(
     variant: str = "ios-both",
     pruning: PruningStrategy | None = None,
 ) -> Schedule:
-    """One-call convenience wrapper: run the IOS search and return the schedule.
+    """One-call convenience wrapper: compile ``graph`` and return its schedule.
+
+    Delegates to the pooled :class:`repro.engine.Engine` for
+    ``(device, variant, pruning)``, so repeated calls on the same structure
+    reuse the compile cache.  Prefer ``Engine.compile`` directly when you also
+    want the execution plan, the latency or the compile stats.
 
     Parameters
     ----------
@@ -87,6 +99,4 @@ def optimize(
     pruning:
         Optional ``(r, s)`` pruning strategy; defaults to the paper's r=3, s=8.
     """
-    config = SchedulerConfig.variant(variant, pruning=pruning)
-    scheduler = IOSScheduler(SimulatedCostModel(device), config)
-    return scheduler.optimize_graph(graph).schedule
+    return get_engine(device, variant=variant, pruning=pruning).compile(graph).schedule

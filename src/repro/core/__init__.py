@@ -1,17 +1,29 @@
 """IOS core: the inter-operator scheduler and everything it needs.
 
-Typical usage::
+This package holds the search *primitives* — the DP scheduler, cost models,
+baselines, lowering.  For the one-call compile path use the engine, which
+stages passes → search → lowering with caching and serializable artifacts::
 
-    from repro.core import IOSScheduler, SchedulerConfig, SimulatedCostModel
-    from repro.core import sequential_schedule, greedy_schedule, measure_schedule
-    from repro.hardware import get_device
+    from repro.engine import Engine
     from repro.models import build_model
 
-    graph = build_model("inception_v3", batch_size=1)
+    engine = Engine("v100")                       # device, variant, profile
+    compiled = engine.compile(build_model("inception_v3", batch_size=1))
+    latency = compiled.latency_ms()
+
+Driving the primitives directly is still supported (and is what the engine
+does internally)::
+
+    from repro.core import IOSScheduler, SimulatedCostModel, measure_schedule
+    from repro.hardware import get_device
+
     device = get_device("v100")
     scheduler = IOSScheduler(SimulatedCostModel(device))
     result = scheduler.optimize_graph(graph)
     latency = measure_schedule(graph, result.schedule, device).latency_ms
+
+The former one-call helper :func:`schedule_graph` is deprecated in favour of
+``Engine.compile`` (it now delegates to it and warns).
 """
 
 from .schedule import (
@@ -31,6 +43,10 @@ from .dp_scheduler import (
     IOSVariant,
     ScheduleResult,
     SchedulerConfig,
+    UnknownVariantError,
+    VALID_VARIANTS,
+    normalize_variant,
+    variant_label,
 )
 from .baselines import greedy_schedule, sequential_schedule
 from .lowering import lower_schedule, measure_schedule, schedule_latency_ms, schedule_throughput
@@ -52,46 +68,45 @@ from .specialization import (
 
 def schedule_graph(graph, device="v100", *, variant=None, passes=False,
                    pruning=None, profile=None, config=None) -> ScheduleResult:
-    """One-call scheduler path: optional rewrite pipeline, then the IOS search.
+    """Deprecated one-call scheduler path; use :class:`repro.engine.Engine`.
 
-    The convenience entry point used by the CLI and the serving registry::
+    .. deprecated:: 1.3
+        Migrate to the engine — the identical staged pipeline
+        (passes → search) plus lowering, with a compile cache and
+        serializable artifacts::
 
-        result = schedule_graph(build_model("inception_v3"), "v100", passes=True)
-        latency = measure_schedule(result.graph, result.schedule, get_device("v100"))
+            # before
+            result = schedule_graph(graph, "v100", passes=True, variant="ios-merge")
 
-    Parameters
-    ----------
-    graph:
-        The computation graph to schedule.
-    device:
-        Device preset name or a :class:`~repro.hardware.device.DeviceSpec`.
-    variant:
-        IOS variant (``ios-both`` — the default — / ``ios-parallel`` /
-        ``ios-merge``).
-    passes:
-        ``False`` schedules the graph as given; ``True`` first runs the
-        default :mod:`repro.passes` pipeline; a
-        :class:`~repro.passes.PassManager` (or list of pass names) runs that
-        pipeline instead.  The schedule always refers to ``result.graph``.
-    pruning:
-        Optional :class:`~repro.core.endings.PruningStrategy` override.
-    profile:
-        Kernel profile for the cost model (default: cuDNN).
-    config:
-        Full :class:`SchedulerConfig` override; mutually exclusive with
-        ``variant``/``pruning``.
+            # after
+            from repro.engine import Engine
+            compiled = Engine("v100", passes=True, variant="ios-merge").compile(graph)
+            result = compiled.search          # the same ScheduleResult
+
+    The shim delegates to :meth:`repro.engine.Engine.compile` and returns the
+    underlying :class:`ScheduleResult`, so results are identical to the
+    engine path (the engine tests assert that equivalence on the model zoo).
     """
-    from ..hardware.device import get_device
+    import warnings
+
+    warnings.warn(
+        "schedule_graph() is deprecated; use repro.engine.Engine(device, ...)"
+        ".compile(graph) instead (compiled.search is this ScheduleResult)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..engine import Engine
     from ..hardware.kernel import CUDNN_PROFILE
 
-    if config is None:
-        config = SchedulerConfig.variant(variant or "ios-both", pruning=pruning)
-    elif variant is not None or pruning is not None:
-        raise ValueError("pass either config= or variant=/pruning=, not both")
-    spec = get_device(device) if isinstance(device, str) else device
-    cost_model = SimulatedCostModel(spec, profile or CUDNN_PROFILE)
-    scheduler = IOSScheduler(cost_model, config)
-    return scheduler.optimize_graph(graph, passes=passes or None)
+    engine = Engine(
+        device,
+        passes=passes,
+        variant=variant,
+        pruning=pruning,
+        config=config,
+        profile=profile or CUDNN_PROFILE,
+    )
+    return engine.compile(graph).search
 
 __all__ = [
     "ParallelizationStrategy",
@@ -120,6 +135,10 @@ __all__ = [
     "IOSScheduler",
     "IOSVariant",
     "SchedulerConfig",
+    "UnknownVariantError",
+    "VALID_VARIANTS",
+    "normalize_variant",
+    "variant_label",
     "schedule_graph",
     "BlockStats",
     "ScheduleResult",

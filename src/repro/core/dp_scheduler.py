@@ -24,6 +24,7 @@ a block fingerprint cache.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -34,7 +35,17 @@ from .merge import can_merge
 from .schedule import ParallelizationStrategy, Schedule, Stage
 from .width import maximum_antichain_size
 
-__all__ = ["SchedulerConfig", "BlockStats", "ScheduleResult", "IOSScheduler", "IOSVariant"]
+__all__ = [
+    "SchedulerConfig",
+    "BlockStats",
+    "ScheduleResult",
+    "IOSScheduler",
+    "IOSVariant",
+    "UnknownVariantError",
+    "VALID_VARIANTS",
+    "normalize_variant",
+    "variant_label",
+]
 
 
 #: Named strategy sets corresponding to the paper's IOS variants (Section 6.1).
@@ -43,6 +54,58 @@ IOSVariant = {
     "ios-parallel": (ParallelizationStrategy.CONCURRENT,),
     "ios-merge": (ParallelizationStrategy.MERGE,),
 }
+
+#: Canonical variant names, in the paper's presentation order.
+VALID_VARIANTS = tuple(IOSVariant)
+
+
+class UnknownVariantError(KeyError, ValueError):
+    """An IOS variant name that :func:`normalize_variant` cannot resolve.
+
+    Subclasses both :class:`KeyError` (the historical exception of
+    ``SchedulerConfig.variant``) and :class:`ValueError` (what a bad
+    user-supplied name morally is), so both idioms keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+def normalize_variant(name: str) -> str:
+    """Resolve a variant spelling to its canonical ``ios-*`` name.
+
+    Accepts the canonical names plus the obvious drifted spellings seen in
+    configs and CLIs — case differences, underscores instead of dashes, and
+    the bare suffix (``"both"`` → ``"ios-both"``).  Every layer that keys on
+    a variant (``SchedulerConfig.variant``, the serve registry, the CLI, the
+    engine) funnels through this one function so the same variant can never
+    land under two different keys.
+
+    Raises :class:`UnknownVariantError` (a ``ValueError``) listing the valid
+    variants on bad input.
+    """
+    if isinstance(name, str):
+        key = name.strip().lower().replace("_", "-").replace(" ", "-")
+        if key in IOSVariant:
+            return key
+        if f"ios-{key}" in IOSVariant:
+            return f"ios-{key}"
+    raise UnknownVariantError(
+        f"unknown IOS variant {name!r}; valid variants: {', '.join(VALID_VARIANTS)}"
+    )
+
+
+def variant_label(config: "SchedulerConfig") -> str:
+    """The canonical variant name whose strategy set ``config`` uses.
+
+    Returns ``"custom"`` when the strategy set matches none of the named
+    variants (only possible by constructing :class:`SchedulerConfig` by hand).
+    """
+    strategies = set(config.strategies)
+    for name, named in IOSVariant.items():
+        if strategies == set(named):
+            return name
+    return "custom"
 
 
 @dataclass(frozen=True)
@@ -59,10 +122,13 @@ class SchedulerConfig:
     @classmethod
     def variant(cls, name: str, pruning: PruningStrategy | None = None,
                 reuse_identical_blocks: bool = True) -> "SchedulerConfig":
-        """Build a config for one of the named IOS variants of the paper."""
-        key = name.lower()
-        if key not in IOSVariant:
-            raise KeyError(f"unknown IOS variant {name!r}; choose from {sorted(IOSVariant)}")
+        """Build a config for one of the named IOS variants of the paper.
+
+        The name goes through :func:`normalize_variant`, so drifted spellings
+        (``"BOTH"``, ``"ios_merge"``) resolve to the canonical variant and bad
+        names raise :class:`UnknownVariantError` listing the valid ones.
+        """
+        key = normalize_variant(name)
         return cls(
             pruning=pruning if pruning is not None else PruningStrategy(3, 8),
             strategies=IOSVariant[key],
@@ -233,16 +299,30 @@ class IOSScheduler:
     def optimize_graph(self, graph: Graph, passes=None) -> ScheduleResult:
         """Optimise every block of ``graph`` and concatenate the block schedules.
 
-        ``passes`` optionally runs a graph-rewriting pipeline *before* the DP
-        search: ``True`` selects :func:`repro.passes.default_pipeline`, or pass
-        a :class:`repro.passes.PassManager` / list of pass names.  The returned
-        result then carries the rewritten graph (``result.graph``) — the
-        schedule's operator names refer to it, not to the input graph — plus
-        the per-pass rewrite statistics (``result.pass_stats``).
+        .. deprecated:: 1.3
+            The ``passes`` parameter is deprecated.  Rewriting-then-scheduling
+            is the engine's job: use ``repro.engine.Engine(device,
+            passes=...)`` and call ``engine.compile(graph)`` — its ``.search``
+            attribute is this method's :class:`ScheduleResult`.  Calling
+            ``optimize_graph(graph)`` with no ``passes`` stays supported; it
+            is the search primitive the engine itself builds on.
+
+        When the deprecated ``passes`` is given, a graph-rewriting pipeline
+        runs *before* the DP search (``True`` selects
+        :func:`repro.passes.default_pipeline`; a
+        :class:`repro.passes.PassManager` / list of pass names runs that one)
+        and the result carries the rewritten graph plus per-pass stats.
         """
         start = time.perf_counter()
         pass_stats = None
         if passes is not None and passes is not False:
+            warnings.warn(
+                "IOSScheduler.optimize_graph(passes=...) is deprecated; use "
+                "repro.engine.Engine(device, passes=...) and engine.compile(graph) "
+                "(compiled.search is this ScheduleResult)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             # Imported lazily: repro.passes depends only on repro.ir, but the
             # scheduler must stay importable without the passes package loaded.
             from ..passes import optimize_graph as run_passes
@@ -267,13 +347,9 @@ class IOSScheduler:
 
     # ----------------------------------------------------------------- helpers
     def _origin_label(self) -> str:
-        strategies = set(self.config.strategies)
-        if strategies == set(IOSVariant["ios-both"]):
-            label = "ios-both"
-        elif strategies == set(IOSVariant["ios-parallel"]):
-            label = "ios-parallel"
-        else:
-            label = "ios-merge"
+        label = variant_label(self.config)
+        if label == "custom":
+            label = "ios-merge" if ParallelizationStrategy.MERGE in self.config.strategies else "ios-parallel"
         return f"{label} ({self.config.pruning.describe()})"
 
     def _block_fingerprint(self, graph: Graph, op_names: Sequence[str]) -> tuple:

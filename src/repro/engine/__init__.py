@@ -1,0 +1,70 @@
+"""repro.engine — one compile pipeline (Engine → CompiledModel) behind every entry point.
+
+Historically the system had four independent ways to turn a graph into a
+measured schedule (``core.schedule_graph``, ``IOSScheduler.optimize_graph``
+with inline passes, the frameworks' IOS engine, and the serve registry's
+compile-on-miss), each wiring passes, scheduling, lowering and measurement
+slightly differently.  This package replaces them with one explicit staged
+pipeline::
+
+    Graph --[passes]--> optimized Graph --[schedule]--> Schedule
+          --[lower]--> ExecutionPlan
+
+* :mod:`repro.engine.engine` — :class:`Engine` (the pipeline driver with a
+  fingerprint-keyed compile cache) and :func:`get_engine` (a process-wide
+  engine pool shared by the experiments and the CLI);
+* :mod:`repro.engine.compiled` — :class:`CompiledModel` (all artifacts of one
+  compilation: graph, schedule, execution plan, per-stage
+  :class:`CompileStats`) with full-artifact ``save()``/``load()`` so warm
+  starts perform **zero** scheduler searches;
+* :mod:`repro.engine.stages` — the individual stage helpers
+  (:func:`apply_passes` is also what ``build_model(optimize=True)`` runs).
+
+Quick start::
+
+    from repro.engine import Engine
+    from repro.models import build_model
+
+    engine = Engine("v100", passes=True)            # fix the environment once
+    compiled = engine.compile(build_model("inception_v3"))
+    print(compiled.latency_ms(), compiled.throughput())
+    print(compiled.stats.describe())                # per-stage timing
+    compiled.save("inception.compiled.json")        # warm-start artifact
+
+    warm = Engine("v100", passes=True)
+    warm.load("inception.compiled.json")            # zero scheduler searches
+
+Every runtime path — CLI figure runs, ``ios-bench serve``, the frameworks
+comparison, the registry's compile-on-miss — goes through
+:meth:`Engine.compile`; the legacy one-call entry points
+(``repro.core.schedule_graph`` and ``IOSScheduler.optimize_graph(passes=)``)
+are deprecated shims over it.
+"""
+
+from ..core.dp_scheduler import (
+    UnknownVariantError,
+    VALID_VARIANTS,
+    normalize_variant,
+    variant_label,
+)
+from .compiled import ARTIFACT_FORMAT, CompiledModel, CompileStats, StageTiming
+from .engine import Engine, EngineStats, clear_engine_pool, get_engine
+from .stages import apply_passes, graph_identity, node_digest
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "CompiledModel",
+    "CompileStats",
+    "StageTiming",
+    "ARTIFACT_FORMAT",
+    "get_engine",
+    "clear_engine_pool",
+    "apply_passes",
+    "graph_identity",
+    "node_digest",
+    "normalize_variant",
+    "variant_label",
+    "UnknownVariantError",
+    "VALID_VARIANTS",
+]

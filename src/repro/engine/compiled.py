@@ -1,0 +1,360 @@
+"""Compiled-model artifacts: what an :class:`~repro.engine.Engine` produces.
+
+A :class:`CompiledModel` bundles every artifact of one staged compilation —
+the (possibly pass-optimised) graph, the schedule the DP search found for it,
+the lowered :class:`~repro.runtime.executor.ExecutionPlan`, and the per-stage
+:class:`CompileStats` — bound to the device and kernel profile it was compiled
+for.  It is the unit of reuse across the system: the engine caches them per
+graph fingerprint, the serve registry persists them to disk, and experiments
+measure them.
+
+Serialisation (:meth:`CompiledModel.save` / :meth:`CompiledModel.load`) writes
+a single JSON document containing the *full* artifact set — graph structure,
+schedule, provenance fingerprints and compile stats — so a warm start rebuilds
+an executable model with **zero** scheduler searches: loading re-lowers the
+schedule (cheap, deterministic) instead of re-searching it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.dp_scheduler import ScheduleResult
+from ..core.lowering import lower_schedule
+from ..core.schedule import Schedule
+from ..hardware.device import DeviceSpec, get_device
+from ..hardware.kernel import CUDNN_PROFILE, KERNEL_PROFILES, KernelProfile
+from ..ir.fingerprint import graph_fingerprint
+from ..ir.graph import Graph
+from ..ir.serialization import graph_from_dict, graph_to_dict
+from ..runtime.executor import ExecutionPlan, ExecutionResult, Executor
+from .stages import node_digest
+
+__all__ = ["StageTiming", "CompileStats", "CompiledModel", "ARTIFACT_FORMAT"]
+
+#: Marker identifying a persisted compiled-model artifact (vs. a bare
+#: schedule document, which has no ``format`` key).
+ARTIFACT_FORMAT = "repro/compiled-model"
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock time and summary detail of one compile stage."""
+
+    stage: str
+    elapsed_s: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"stage": self.stage, "elapsed_s": self.elapsed_s, "detail": dict(self.detail)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StageTiming":
+        return cls(
+            stage=data["stage"],
+            elapsed_s=float(data["elapsed_s"]),
+            detail=dict(data.get("detail", {})),
+        )
+
+
+@dataclass
+class CompileStats:
+    """Per-stage statistics of one staged compilation.
+
+    ``searched`` distinguishes a compile that actually ran the DP search from
+    an artifact loaded off disk (where the recorded stages describe the
+    *original* compile, not the load).
+    """
+
+    stages: list[StageTiming] = field(default_factory=list)
+    source_fingerprint: str = ""
+    optimized_fingerprint: str = ""
+    operators_in: int = 0
+    operators_out: int = 0
+    num_measurements: int = 0
+    profiling_gpu_ms: float = 0.0
+    searched: bool = True
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total wall-clock time over all recorded stages."""
+        return sum(stage.elapsed_s for stage in self.stages)
+
+    def stage(self, name: str) -> StageTiming | None:
+        """The recorded timing of the named stage, if present."""
+        for stage in self.stages:
+            if stage.stage == name:
+                return stage
+        return None
+
+    def stage_elapsed_s(self, name: str) -> float:
+        timing = self.stage(name)
+        return timing.elapsed_s if timing is not None else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "stages": [stage.as_dict() for stage in self.stages],
+            "source_fingerprint": self.source_fingerprint,
+            "optimized_fingerprint": self.optimized_fingerprint,
+            "operators_in": self.operators_in,
+            "operators_out": self.operators_out,
+            "num_measurements": self.num_measurements,
+            "profiling_gpu_ms": self.profiling_gpu_ms,
+            "searched": self.searched,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any] | None) -> "CompileStats":
+        if not data:
+            return cls(searched=False)
+        return cls(
+            stages=[StageTiming.from_dict(s) for s in data.get("stages", [])],
+            source_fingerprint=data.get("source_fingerprint", ""),
+            optimized_fingerprint=data.get("optimized_fingerprint", ""),
+            operators_in=int(data.get("operators_in", 0)),
+            operators_out=int(data.get("operators_out", 0)),
+            num_measurements=int(data.get("num_measurements", 0)),
+            profiling_gpu_ms=float(data.get("profiling_gpu_ms", 0.0)),
+            searched=bool(data.get("searched", True)),
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"compile: {self.operators_in} -> {self.operators_out} operators, "
+            f"{self.elapsed_s * 1e3:.2f} ms total"
+            + ("" if self.searched else " (loaded from artifact)")
+        ]
+        for stage in self.stages:
+            detail = ", ".join(f"{k}={v}" for k, v in stage.detail.items())
+            lines.append(f"  {stage.stage:>8s}: {stage.elapsed_s * 1e3:8.2f} ms  {detail}")
+        return "\n".join(lines)
+
+
+@dataclass(eq=False)
+class CompiledModel:
+    """Every artifact of one compilation, ready to execute or persist.
+
+    ``graph`` is the graph the schedule refers to — the *optimized* graph when
+    the engine's pass stage ran, otherwise the input graph itself.  The
+    ``source_*`` fields identify the graph that went *into* the pipeline, so
+    caches and registries can look artifacts up by what the caller has in
+    hand.
+    """
+
+    graph: Graph
+    schedule: Schedule
+    plan: ExecutionPlan
+    device: DeviceSpec
+    profile: KernelProfile
+    variant: str
+    stats: CompileStats
+    source_graph_name: str
+    source_node_digest: str
+    source_fingerprint: str
+    #: Structural fingerprint of ``graph`` (the compiled form).
+    fingerprint: str
+    #: Full DP-search result when this model was compiled in-process;
+    #: ``None`` after :meth:`load` (searches are exactly what loading avoids).
+    search: ScheduleResult | None = field(default=None, repr=False)
+    _execution: ExecutionResult | None = field(default=None, init=False, repr=False)
+
+    # ------------------------------------------------------------- identity
+    @property
+    def model(self) -> str:
+        return self.graph.name
+
+    @property
+    def batch_size(self) -> int:
+        return self.graph.batch_size
+
+    # ------------------------------------------------------------ execution
+    def execute(self, profile: bool = False) -> ExecutionResult:
+        """Run one inference of the plan on the compiled-for device.
+
+        With ``profile=True`` the executor records the per-interval occupancy
+        timeline (kernel events, active warps) and a *fresh* result is
+        returned each call; the default is the cached, trace-free execution —
+        the simulation is deterministic, so it runs at most once.
+        """
+        if profile:
+            return Executor(self.device, self.profile, record_trace=True).run(self.plan)
+        if self._execution is None:
+            self._execution = Executor(self.device, self.profile).run(self.plan)
+        return self._execution
+
+    def schedule_result(self) -> ScheduleResult:
+        """The DP-search result, tolerant of warm-started artifacts.
+
+        An artifact loaded off disk carries no in-process search
+        (``self.search is None``); this returns an empty stand-in (zero
+        block stats / transitions / elapsed time — exactly what the load
+        cost) so result-consuming code works on both compile paths.
+        """
+        if self.search is None:
+            return ScheduleResult(schedule=self.schedule, graph=self.graph)
+        return self.search
+
+    def latency_ms(self) -> float:
+        """End-to-end latency (ms) of one inference (cached measurement)."""
+        return self.execute().latency_ms
+
+    def throughput(self) -> float:
+        """Throughput in samples/s of one inference (cached measurement)."""
+        return self.execute().throughput()
+
+    # -------------------------------------------------------- serialisation
+    @staticmethod
+    def is_artifact(data: Any) -> bool:
+        """Whether a decoded JSON document is a compiled-model artifact."""
+        return isinstance(data, dict) and data.get("format") == ARTIFACT_FORMAT
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full artifact as one JSON-clean dict."""
+        return {
+            "format": ARTIFACT_FORMAT,
+            "format_version": ARTIFACT_VERSION,
+            "device": self.device.name,
+            "profile": self.profile.name,
+            "variant": self.variant,
+            "source": {
+                "graph_name": self.source_graph_name,
+                "node_digest": self.source_node_digest,
+                "fingerprint": self.source_fingerprint,
+            },
+            "fingerprint": self.fingerprint,
+            "graph": graph_to_dict(self.graph),
+            "schedule": self.schedule.to_dict(),
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: dict[str, Any],
+        device: DeviceSpec | None = None,
+        profile: KernelProfile | None = None,
+    ) -> "CompiledModel":
+        """Rebuild a compiled model from :meth:`to_dict` output.
+
+        The graph is re-validated and the schedule re-lowered (deterministic,
+        no searches).  ``device`` / ``profile`` override the persisted names —
+        needed when the artifact was compiled for a device or kernel profile
+        that is not in the built-in registries.
+        """
+        if not cls.is_artifact(data):
+            raise ValueError("not a compiled-model artifact (missing format marker)")
+        version = data.get("format_version")
+        if version != ARTIFACT_VERSION:
+            raise ValueError(f"unsupported compiled-model artifact version {version!r}")
+        if device is None:
+            device = get_device(data["device"])
+        if profile is None:
+            name = data.get("profile", "")
+            if name not in KERNEL_PROFILES:
+                raise ValueError(
+                    f"artifact uses unknown kernel profile {name!r}; pass profile= "
+                    f"explicitly (known: {sorted(KERNEL_PROFILES)})"
+                )
+            profile = KERNEL_PROFILES[name]
+        graph = graph_from_dict(data["graph"])
+        schedule = Schedule.from_dict(data["schedule"])
+        plan = lower_schedule(graph, schedule)
+        source = data.get("source", {})
+        stats = CompileStats.from_dict(data.get("stats"))
+        # The recorded stage timings describe the original compile, but *this*
+        # object was loaded, not searched — keep the flag honest per process.
+        stats.searched = False
+        return cls(
+            graph=graph,
+            schedule=schedule,
+            plan=plan,
+            device=device,
+            profile=profile,
+            variant=data.get("variant", "ios-both"),
+            stats=stats,
+            source_graph_name=source.get("graph_name", graph.name),
+            source_node_digest=source.get("node_digest", node_digest(graph)),
+            source_fingerprint=source.get("fingerprint", ""),
+            fingerprint=data.get("fingerprint", graph_fingerprint(graph)),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the full artifact set as one JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        device: DeviceSpec | None = None,
+        profile: KernelProfile | None = None,
+    ) -> "CompiledModel":
+        """Load a persisted artifact; zero scheduler searches are performed."""
+        return cls.from_dict(json.loads(Path(path).read_text()), device=device, profile=profile)
+
+    # --------------------------------------------------------- construction
+    @classmethod
+    def from_schedule(
+        cls,
+        graph: Graph,
+        schedule: Schedule,
+        device: DeviceSpec,
+        profile: KernelProfile = CUDNN_PROFILE,
+        variant: str = "ios-both",
+        search: ScheduleResult | None = None,
+    ) -> "CompiledModel":
+        """Wrap an existing schedule (e.g. handed to ``ScheduleRegistry.put``).
+
+        Lowers (and thereby validates) the schedule against ``graph``; the
+        graph is treated as both source and compiled form.
+        """
+        start = time.perf_counter()
+        plan = lower_schedule(graph, schedule)
+        fingerprint = graph_fingerprint(graph)
+        num_ops = len(graph.schedulable_names())
+        stats = CompileStats(
+            stages=[
+                StageTiming(
+                    "lower",
+                    time.perf_counter() - start,
+                    {"stages": plan.num_stages(), "kernel_operators": plan.num_kernel_operators()},
+                )
+            ],
+            source_fingerprint=fingerprint,
+            optimized_fingerprint=fingerprint,
+            operators_in=num_ops,
+            operators_out=num_ops,
+            searched=False,
+        )
+        return cls(
+            graph=graph,
+            schedule=schedule,
+            plan=plan,
+            device=device,
+            profile=profile,
+            variant=variant,
+            stats=stats,
+            source_graph_name=graph.name,
+            source_node_digest=node_digest(graph),
+            source_fingerprint=fingerprint,
+            fingerprint=fingerprint,
+            search=search,
+        )
+
+    # -------------------------------------------------------------- display
+    def describe(self) -> str:
+        """Human-readable summary of the artifact set."""
+        header = (
+            f"CompiledModel({self.model!r}, batch {self.batch_size}, "
+            f"{self.device.name}, {self.variant}): "
+            f"{len(self.schedule)} stages, fingerprint {self.fingerprint}"
+        )
+        return "\n".join([header, self.stats.describe()])

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..core import IOSScheduler, SchedulerConfig, SimulatedCostModel, measure_schedule
+from ..engine import get_engine
 from ..hardware.device import get_device
 from ..models import build_model
 from ..passes import default_pipeline, unfuse_activations
@@ -63,19 +63,17 @@ def run_pass_ablation(
             ("optimized", pass_result.graph, pass_result.total_rewrites,
              pass_result.elapsed_s),
         ]
+        engine = get_engine(spec, variant=variant)
         for label, graph, rewrites, pass_time_s in variants:
-            scheduler = IOSScheduler(
-                SimulatedCostModel(spec), SchedulerConfig.variant(variant)
-            )
-            result = scheduler.optimize_graph(graph)
-            latency_ms = measure_schedule(graph, result.schedule, spec).latency_ms
+            compiled = engine.compile(graph)
+            search = compiled.schedule_result()
             table.add_row(
                 model=model,
                 graph=label,
                 operators=len(graph.schedulable_names()),
-                latency_ms=latency_ms,
-                search_s=result.elapsed_s,
-                transitions=result.total_transitions,
+                latency_ms=compiled.latency_ms(),
+                search_s=search.elapsed_s,
+                transitions=search.total_transitions,
                 rewrites=rewrites,
                 pass_time_s=pass_time_s,
             )

@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..core.cost_model import FlopsCostModel, SimulatedCostModel
+from ..core.cost_model import FlopsCostModel
 from ..core.dp_scheduler import IOSScheduler, SchedulerConfig
 from ..core.endings import PruningStrategy
-from ..core.lowering import measure_schedule
+from ..engine import Engine
 from ..hardware.device import DeviceSpec
 from ..ir.graph import Graph
 from .runner import ExperimentContext, default_context
@@ -74,12 +74,17 @@ def run_cost_model_ablation(
         graph = ctx.graph(model_name, batch_size)
         contention_run = ctx.run_schedule(graph, "ios-both")
 
-        naive_scheduler = IOSScheduler(
-            FlopsCostModel(flops_per_ms=ctx.device.peak_flops_per_ms),
-            SchedulerConfig(pruning=ctx.pruning),
+        # The naive search injects its cost model into the engine; the
+        # compiled model still *evaluates* on the full contention simulator.
+        naive_engine = Engine(
+            ctx.device,
+            profile=ctx.profile,
+            scheduler=IOSScheduler(
+                FlopsCostModel(flops_per_ms=ctx.device.peak_flops_per_ms),
+                SchedulerConfig(pruning=ctx.pruning),
+            ),
         )
-        naive_schedule = naive_scheduler.optimize_graph(graph).schedule
-        naive_latency = measure_schedule(graph, naive_schedule, ctx.device, ctx.profile).latency_ms
+        naive_latency = naive_engine.compile(graph).latency_ms()
 
         gap = (naive_latency / contention_run.latency_ms - 1.0) * 100.0
         table.add_row(
@@ -117,30 +122,22 @@ def run_blockwise_ablation(
             "which is why the paper optimises block by block"
         ),
     )
+    engine = ctx.engine(pruning=pruning)
     for model_name in models:
         graph = ctx.graph(model_name, batch_size)
 
-        blockwise_scheduler = IOSScheduler(
-            SimulatedCostModel(ctx.device, ctx.profile), SchedulerConfig(pruning=pruning)
-        )
-        blockwise = blockwise_scheduler.optimize_graph(graph)
-        blockwise_latency = measure_schedule(
-            graph, blockwise.schedule, ctx.device, ctx.profile
-        ).latency_ms
+        blockwise = engine.compile(graph)
+        blockwise_latency = blockwise.latency_ms()
 
-        flat = flatten_blocks(graph)
-        whole_scheduler = IOSScheduler(
-            SimulatedCostModel(ctx.device, ctx.profile), SchedulerConfig(pruning=pruning)
-        )
-        whole = whole_scheduler.optimize_graph(flat)
-        whole_latency = measure_schedule(flat, whole.schedule, ctx.device, ctx.profile).latency_ms
+        whole = engine.compile(flatten_blocks(graph))
+        whole_latency = whole.latency_ms()
 
         table.add_row(
             network=model_name,
             blockwise_ms=blockwise_latency,
             whole_graph_ms=whole_latency,
-            blockwise_transitions=blockwise.total_transitions,
-            whole_graph_transitions=whole.total_transitions,
+            blockwise_transitions=blockwise.schedule_result().total_transitions,
+            whole_graph_transitions=whole.schedule_result().total_transitions,
             latency_ratio=whole_latency / blockwise_latency if blockwise_latency else float("nan"),
         )
     return table

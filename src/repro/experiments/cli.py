@@ -2,7 +2,13 @@
 
 Runs any of the paper-reproduction experiments and prints its table; optionally
 writes CSV.  The ``serve`` subcommand instead runs the batch-aware inference
-service of :mod:`repro.serve` under synthetic traffic.  Examples::
+service of :mod:`repro.serve` under synthetic traffic.
+
+Every IOS search — figure runs and serving alike — goes through
+:class:`repro.engine.Engine`: the experiments fetch one pooled engine per
+(device, variant) from :func:`repro.engine.get_engine`, so ``ios-bench all``
+compiles each (model, batch, device) combination exactly once and later
+figures reuse the cache.  Examples::
 
     ios-bench figure6 --device v100
     ios-bench table3-batch --model inception_v3
@@ -41,6 +47,20 @@ __all__ = ["main", "serve_main", "EXPERIMENTS", "QUICK_MODELS"]
 
 #: Model subset used with ``--quick`` (fast enough for CI smoke runs).
 QUICK_MODELS = ["inception_v3", "squeezenet"]
+
+
+def _variant_arg(value: str) -> str:
+    """argparse type for IOS variants: normalises drifted spellings.
+
+    Accepts ``ios-both`` / ``both`` / ``IOS_Both`` etc. and turns an unknown
+    name into a clean argparse error listing the valid variants.
+    """
+    from ..core import UnknownVariantError, normalize_variant
+
+    try:
+        return normalize_variant(value)
+    except UnknownVariantError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _experiments(quick: bool, device: str) -> dict[str, Callable[[], ExperimentTable]]:
@@ -124,9 +144,11 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-wait-ms", type=float, default=None,
                         help="dynamic batcher wait bound in ms (default: 5.0; "
                         "meaningless with --no-batching)")
-    parser.add_argument("--variant", default="ios-both",
-                        choices=["ios-both", "ios-parallel", "ios-merge"],
-                        help="IOS variant compiled on registry misses")
+    parser.add_argument("--variant", default="ios-both", type=_variant_arg,
+                        metavar="{ios-both,ios-parallel,ios-merge}",
+                        help="IOS variant compiled on registry misses "
+                        "(drifted spellings like 'both' or 'IOS_Merge' are "
+                        "normalised)")
     parser.add_argument("--registry-dir", default=None,
                         help="directory persisting optimised schedules across runs")
     parser.add_argument("--passes", action=argparse.BooleanOptionalAction, default=False,

@@ -10,10 +10,9 @@ the textual schedule descriptions for inspection.
 
 from __future__ import annotations
 
-from ..core.cost_model import SimulatedCostModel
-from ..core.dp_scheduler import IOSScheduler, SchedulerConfig
 from ..core.lowering import measure_schedule
 from ..core.schedule import ParallelizationStrategy, Schedule
+from ..engine import get_engine
 from ..hardware.device import DeviceSpec, get_device
 from ..ir.graph import Graph
 from ..models import build_model
@@ -57,11 +56,11 @@ def run_figure10(
 ) -> ExperimentTable:
     """Optimise the last Inception block for two batch sizes and cross-evaluate."""
     spec = device if isinstance(device, DeviceSpec) else get_device(device)
+    engine = get_engine(spec)
     graphs = {bs: last_block_subgraph(bs, block_name) for bs in batch_sizes}
-    schedules: dict[int, Schedule] = {}
-    for bs, graph in graphs.items():
-        scheduler = IOSScheduler(SimulatedCostModel(spec), SchedulerConfig())
-        schedules[bs] = scheduler.optimize_graph(graph).schedule
+    schedules: dict[int, Schedule] = {
+        bs: engine.compile(graph).schedule for bs, graph in graphs.items()
+    }
 
     table = ExperimentTable(
         experiment_id="figure10",

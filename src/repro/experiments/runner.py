@@ -3,9 +3,12 @@
 Most experiments need the same ingredients: build a benchmark network, compute
 its five schedules (sequential, greedy, IOS-Merge, IOS-Parallel, IOS-Both),
 execute them on a simulated device and aggregate throughputs.  The helpers
-here centralise that so the per-figure modules stay small, and cache IOS
-searches within the process so that e.g. Figure 6 and Figure 16 do not repeat
-the same optimisation.
+here centralise that so the per-figure modules stay small.
+
+IOS searches go through :func:`repro.engine.get_engine` — one pooled
+:class:`~repro.engine.Engine` per (device, variant, pruning) whose compile
+cache is shared process-wide, so e.g. Figure 6, Figure 16 and an
+``ios-bench all`` run never repeat the same optimisation.
 """
 
 from __future__ import annotations
@@ -14,11 +17,11 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.baselines import greedy_schedule, sequential_schedule
-from ..core.cost_model import SimulatedCostModel
-from ..core.dp_scheduler import IOSScheduler, ScheduleResult, SchedulerConfig
+from ..core.dp_scheduler import ScheduleResult
 from ..core.endings import PruningStrategy
 from ..core.lowering import measure_schedule
 from ..core.schedule import Schedule
+from ..engine import Engine, get_engine
 from ..hardware.device import DeviceSpec, get_device
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.graph import Graph
@@ -51,7 +54,9 @@ class ExperimentContext:
     profile: KernelProfile = CUDNN_PROFILE
     pruning: PruningStrategy = field(default_factory=lambda: PruningStrategy(3, 8))
     _graphs: dict[tuple[str, int], Graph] = field(default_factory=dict)
-    _ios_results: dict[tuple, tuple[ScheduleResult, float, float, int]] = field(default_factory=dict)
+    #: Result tuples per compiled model, so repeated ios_result() calls
+    #: return the identical object (CompiledModel hashes by identity).
+    _ios_results: dict[object, tuple] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ graphs
     def graph(self, model: str, batch_size: int = 1) -> Graph:
@@ -59,6 +64,21 @@ class ExperimentContext:
         if key not in self._graphs:
             self._graphs[key] = build_model(model, batch_size=batch_size)
         return self._graphs[key]
+
+    # ---------------------------------------------------------------- engines
+    def engine(
+        self,
+        variant: str = "ios-both",
+        pruning: PruningStrategy | None = None,
+        device: DeviceSpec | None = None,
+    ) -> Engine:
+        """The pooled compile engine for (device, variant, pruning)."""
+        return get_engine(
+            device or self.device,
+            variant=variant,
+            pruning=pruning or self.pruning,
+            profile=self.profile,
+        )
 
     # --------------------------------------------------------------- schedules
     def ios_result(
@@ -68,25 +88,25 @@ class ExperimentContext:
         pruning: PruningStrategy | None = None,
         device: DeviceSpec | None = None,
     ) -> tuple[ScheduleResult, float, float, int]:
-        """IOS search result for a graph, cached within this context.
+        """IOS search result for a graph, via the pooled engine's cache.
 
-        Returns ``(result, elapsed_s, profiling_gpu_ms, num_measurements)``.
+        Returns ``(result, elapsed_s, profiling_gpu_ms, num_measurements)``;
+        the cost figures are the *compile-time* ones recorded in
+        :class:`~repro.engine.CompileStats`, so a cache hit reports the cost
+        of the original search rather than zero.
         """
-        device = device or self.device
-        pruning = pruning or self.pruning
-        key = (graph.name, graph.batch_size, device.name, variant, pruning)
-        if key not in self._ios_results:
-            cost_model = SimulatedCostModel(device, self.profile)
-            config = SchedulerConfig.variant(variant, pruning=pruning)
-            scheduler = IOSScheduler(cost_model, config)
-            result = scheduler.optimize_graph(graph)
-            self._ios_results[key] = (
+        compiled = self.engine(variant, pruning, device).compile(graph)
+        cached = self._ios_results.get(compiled)
+        if cached is None:
+            result = compiled.schedule_result()
+            cached = (
                 result,
                 result.elapsed_s,
-                cost_model.profiler.total_profiling_ms,
-                cost_model.num_measurements,
+                compiled.stats.profiling_gpu_ms,
+                compiled.stats.num_measurements,
             )
-        return self._ios_results[key]
+            self._ios_results[compiled] = cached
+        return cached
 
     def schedule(self, graph: Graph, label: str, device: DeviceSpec | None = None,
                  pruning: PruningStrategy | None = None) -> tuple[Schedule, float, float, int]:

@@ -1,22 +1,22 @@
 """IOS packaged with the same interface as the baseline frameworks.
 
 Experiments that compare frameworks (Figures 7, 11, 12, 15) treat IOS as "one
-more execution engine": optimise the graph with the DP scheduler, lower the
-schedule and run it on the simulated device with the cuDNN kernel profile —
-exactly the paper's setup, where the IOS execution engine is built on cuDNN
-and only the *schedule* differs from the baselines.
+more execution engine".  Since the engine redesign this class is a thin
+adapter over :class:`repro.engine.Engine`: one engine per device, compiled
+models cached per graph fingerprint, so repeated executions (e.g. the
+batch-size sweep of Figure 11) never re-run the search — exactly the paper's
+setup, where the IOS execution engine is built on cuDNN and only the
+*schedule* differs from the baselines.
 """
 
 from __future__ import annotations
 
-from ..core.cost_model import SimulatedCostModel
-from ..core.dp_scheduler import IOSScheduler, SchedulerConfig
-from ..core.lowering import lower_schedule
+from ..core.dp_scheduler import SchedulerConfig
 from ..core.schedule import Schedule
+from ..engine import Engine
 from ..hardware.device import DeviceSpec
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.graph import Graph
-from ..runtime.executor import Executor
 from ..runtime.memory import MemoryPlanner
 from .base import FrameworkResult
 
@@ -24,12 +24,12 @@ __all__ = ["IOSEngine"]
 
 
 class IOSEngine:
-    """IOS scheduler + execution engine behind the framework interface.
+    """IOS compile pipeline behind the framework interface.
 
     Unlike :class:`~repro.frameworks.base.FrameworkModel` subclasses, the IOS
-    engine is stateful: it caches the schedule it found for a given
-    (graph name, batch size, device) so that repeated executions (e.g. the
-    batch-size sweep of Figure 11) do not re-run the search.
+    engine is stateful: it keeps one :class:`repro.engine.Engine` per device,
+    whose compile cache guarantees a given (graph structure, device) is
+    searched at most once.
     """
 
     name = "ios"
@@ -44,24 +44,35 @@ class IOSEngine:
         self.memory_planner = MemoryPlanner(
             activation_reuse=True, workspace_factor=1.2, framework_overhead_bytes=600 * 1024**2
         )
-        self._schedules: dict[tuple[str, int, str], Schedule] = {}
-        #: Simulated GPU time spent profiling candidate stages, per optimise() call.
-        self.total_profiling_ms = 0.0
-        self.total_measurements = 0
+        self._engines: dict[str, Engine] = {}
+
+    # ------------------------------------------------------------------ engine
+    def engine_for(self, device: DeviceSpec) -> Engine:
+        """The compile engine bound to ``device`` (created on first use)."""
+        if device.name not in self._engines:
+            self._engines[device.name] = Engine(
+                device, config=self.config, profile=self.profile
+            )
+        return self._engines[device.name]
+
+    @property
+    def total_profiling_ms(self) -> float:
+        """Simulated GPU time spent profiling candidate stages, all devices."""
+        return sum(
+            engine.cost_model.profiler.total_profiling_ms
+            for engine in self._engines.values()
+        )
+
+    @property
+    def total_measurements(self) -> int:
+        return sum(
+            engine.cost_model.num_measurements for engine in self._engines.values()
+        )
 
     # ------------------------------------------------------------------ search
     def optimize(self, graph: Graph, device: DeviceSpec) -> Schedule:
-        """Run (or reuse) the IOS search for ``graph`` on ``device``."""
-        key = (graph.name, graph.batch_size, device.name)
-        if key in self._schedules:
-            return self._schedules[key]
-        cost_model = SimulatedCostModel(device, self.profile)
-        scheduler = IOSScheduler(cost_model, self.config)
-        result = scheduler.optimize_graph(graph)
-        self.total_profiling_ms += cost_model.profiler.total_profiling_ms
-        self.total_measurements += cost_model.num_measurements
-        self._schedules[key] = result.schedule
-        return result.schedule
+        """Run (or reuse) the IOS compile for ``graph`` on ``device``."""
+        return self.engine_for(device).compile(graph).schedule
 
     def optimization_cost_gpu_hours(self, graph: Graph) -> float:
         """Simulated GPU hours spent profiling so far (Figure 12's cost axis)."""
@@ -69,7 +80,7 @@ class IOSEngine:
 
     # ----------------------------------------------------------------- running
     def run(self, graph: Graph, device: DeviceSpec) -> FrameworkResult:
-        """Optimise (if needed) and execute one inference of ``graph``."""
+        """Compile (cached) and execute one inference of ``graph``."""
         memory_plan = self.memory_planner.plan(graph)
         if not memory_plan.fits(device):
             return FrameworkResult(
@@ -81,16 +92,13 @@ class IOSEngine:
                 out_of_memory=True,
                 peak_memory_gib=memory_plan.total_gib,
             )
-        schedule = self.optimize(graph, device)
-        plan = lower_schedule(graph, schedule)
-        result = Executor(device, self.profile).run(plan)
-        throughput = graph.batch_size / (result.latency_ms / 1e3) if result.latency_ms else 0.0
+        compiled = self.engine_for(device).compile(graph)
         return FrameworkResult(
             framework=self.name,
             network=graph.name,
             batch_size=graph.batch_size,
-            latency_ms=result.latency_ms,
-            throughput=throughput,
+            latency_ms=compiled.latency_ms(),
+            throughput=compiled.throughput(),
             out_of_memory=False,
             peak_memory_gib=memory_plan.total_gib,
         )

@@ -74,10 +74,12 @@ def build_model(
 ) -> Graph:
     """Instantiate a registered model at the given batch size.
 
-    ``optimize=True`` runs the default :mod:`repro.passes` rewrite pipeline on
-    the built graph (fingerprint-cached, so repeated builds are cheap);
-    ``None`` defers to the process-wide default set by
-    :func:`set_default_optimize`.
+    ``optimize=True`` runs the engine's pass stage
+    (:func:`repro.engine.stages.apply_passes`, i.e. the default
+    :mod:`repro.passes` pipeline — fingerprint-cached, so repeated builds are
+    cheap) on the built graph: a graph built here is bit-identical to what an
+    ``Engine(passes=True)`` would compile.  ``None`` defers to the
+    process-wide default set by :func:`set_default_optimize`.
     """
     key = name.lower().replace("-", "_").replace(" ", "_")
     aliases = {
@@ -98,9 +100,9 @@ def build_model(
     if optimize is None:
         optimize = _DEFAULT_OPTIMIZE
     if optimize:
-        from ..passes import optimize_graph
+        from ..engine.stages import apply_passes
 
-        graph = optimize_graph(graph).graph
+        graph, _ = apply_passes(graph, True)
     return graph
 
 

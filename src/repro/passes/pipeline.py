@@ -1,12 +1,13 @@
 """Default optimization pipeline and fingerprint-keyed result cache.
 
 :func:`optimize_graph` is the one-call entry point the rest of the system
-uses: the model zoo (``build_model(..., optimize=True)``), the scheduler path
-(:func:`repro.core.schedule_graph` / ``IOSScheduler.optimize_graph(passes=...)``)
-and the serving registry (``ScheduleRegistry(passes=True)``) all funnel through
-it.  Results are memoised per input-graph fingerprint, so repeated requests for
-the same structure (every batch rung of a model, every warm serving start) pay
-for the rewrite once.
+uses: the engine's pass stage (:func:`repro.engine.stages.apply_passes` — and
+through it ``Engine(passes=...)``, the model zoo's
+``build_model(..., optimize=True)`` and the serving registry's
+``ScheduleRegistry(passes=True)``) funnels through it.  Results are memoised
+per input-graph fingerprint, so repeated requests for the same structure
+(every batch rung of a model, every warm serving start) pay for the rewrite
+once.
 """
 
 from __future__ import annotations

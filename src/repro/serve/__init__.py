@@ -5,8 +5,10 @@ one-size-fits-all execution; this package turns that observation into an
 end-to-end inference service:
 
 * :mod:`repro.serve.registry` — :class:`ScheduleRegistry`, a disk-backed store
-  of optimised schedules keyed by ``(model, batch_size, device, variant)``
-  with lazy compile-on-miss;
+  of :class:`repro.engine.CompiledModel` artifacts keyed by
+  ``(model, batch_size, device, variant)``; misses compile through one
+  :class:`repro.engine.Engine` per device, warm starts load the persisted
+  artifacts with zero scheduler searches;
 * :mod:`repro.serve.batcher` — :class:`DynamicBatcher` (max-batch/max-wait
   request grouping) and :class:`BatchSizeSelector` (cross-evaluating schedule
   choice, reusing the Table-3 specialisation logic);
@@ -31,7 +33,7 @@ Quick start::
     config = ServingConfig(model="inception_v3", devices=("v100", "v100"),
                            registry_root="schedules/")
     service = InferenceService(config)
-    service.warmup()                       # compile once; later runs load JSON
+    service.warmup()    # Engine.compile once; later runs load the artifacts
     requests = TrafficGenerator(TrafficConfig(num_requests=500)).generate()
     print(service.run(requests).describe())
 """

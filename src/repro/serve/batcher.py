@@ -126,7 +126,7 @@ class BatchSizeSelector:
         registry: ScheduleRegistry,
         batch_sizes: Sequence[int],
         profile: KernelProfile = CUDNN_PROFILE,
-        measure: Callable[[Graph, Schedule, DeviceSpec], float] | None = None,
+        measure: Callable[..., float] | None = None,
     ):
         if not batch_sizes:
             raise ValueError("batch_sizes ladder must not be empty")
@@ -135,13 +135,15 @@ class BatchSizeSelector:
         self.registry = registry
         self.batch_sizes = sorted(batch_sizes)
         self.profile = profile
-        #: How candidate latency is measured; the service injects the worker
-        #: pool's cached measurement so plans are lowered and simulated once.
-        self._measure = measure or (
-            lambda graph, schedule, device: schedule_latency_ms(
-                graph, schedule, device, self.profile
-            )
-        )
+        #: How candidate latency is measured: a callable
+        #: ``(graph, schedule, device, plan=None) -> float`` where ``plan`` is
+        #: the engine-lowered plan of the candidate's compiled model.  The
+        #: service injects the worker pool's cached measurement so plans are
+        #: lowered at most once and simulated once.  Plain
+        #: ``(graph, schedule, device)`` callables (the pre-engine contract)
+        #: still work; they just lower the schedule themselves.
+        self._measure = measure or self._default_measure
+        self._measure_accepts_plan = self._accepts_plan(self._measure)
         #: Memoised candidate latency keyed by (model, device, rung).
         self._latency_cache: dict[tuple[str, str, int], float] = {}
         #: Memoised selection keyed by (model, device, batch samples).
@@ -172,10 +174,36 @@ class BatchSizeSelector:
         self._choice_cache[cache_key] = best_rung
         return best_rung
 
+    @staticmethod
+    def _accepts_plan(measure: Callable[..., float]) -> bool:
+        """Whether the measure callable takes the ``plan=`` keyword."""
+        import inspect
+
+        try:
+            parameters = inspect.signature(measure).parameters
+        except (TypeError, ValueError):
+            return False
+        return "plan" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+
+    def _default_measure(self, graph: Graph, schedule: Schedule, device: DeviceSpec,
+                         plan=None) -> float:
+        if plan is not None:
+            from ..runtime.executor import Executor
+
+            return Executor(device, self.profile).run(plan).latency_ms
+        return schedule_latency_ms(graph, schedule, device, self.profile)
+
     def _candidate_latency(self, model: str, rung: int, device: DeviceSpec) -> float:
         key = (model, device.name, rung)
         if key not in self._latency_cache:
-            graph = self.registry.graph_for(model, rung)
-            schedule = self.registry.get(model, rung, device)
-            self._latency_cache[key] = self._measure(graph, schedule, device)
+            compiled = self.registry.get_compiled(model, rung, device)
+            if self._measure_accepts_plan:
+                latency = self._measure(
+                    compiled.graph, compiled.schedule, device, plan=compiled.plan
+                )
+            else:
+                latency = self._measure(compiled.graph, compiled.schedule, device)
+            self._latency_cache[key] = latency
         return self._latency_cache[key]

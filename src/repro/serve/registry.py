@@ -1,15 +1,18 @@
-"""Persistent schedule registry.
+"""Persistent compiled-model registry.
 
 The IOS search is far too expensive to run on the request path (seconds per
-network), while the schedules it produces are small JSON documents.  The
-registry bridges the two: optimised schedules are persisted to disk keyed by
-``(model, batch_size, device, variant)`` using the existing
-:meth:`~repro.core.schedule.Schedule.to_dict` machinery, loaded lazily, and
-compiled on a miss via :class:`~repro.core.dp_scheduler.IOSScheduler`.
+network), while the artifacts it produces are small JSON documents.  The
+registry bridges the two: misses are compiled through one
+:class:`repro.engine.Engine` per device and the resulting
+:class:`~repro.engine.CompiledModel` — graph, schedule, provenance
+fingerprints, compile stats — is persisted to disk keyed by
+``(model, batch_size, device, variant)``, loaded lazily, and rebuilt on a
+warm start with **zero** scheduler searches (loading re-lowers the schedule;
+it never re-searches).
 
-A warm registry turns serving start-up into pure ``json.load`` calls: the
-second run of any serving experiment performs **zero** scheduler searches
-(see :class:`RegistryStats`, which the end-to-end tests assert on).
+A warm registry turns serving start-up into pure artifact loads: the second
+run of any serving experiment performs **zero** scheduler searches (see
+:class:`RegistryStats`, which the end-to-end tests assert on).
 
 Layout on disk::
 
@@ -23,8 +26,10 @@ and entries persisted before a model definition changed simply miss instead of
 silently replaying stale stages.  Legacy fingerprint-less files (the pre-
 fingerprint layout) are treated as misses with a warning.
 
-Each file is exactly ``Schedule.to_dict()`` — readable, diffable, and
-loadable with :meth:`Schedule.load` outside the registry.
+Each file is a full :meth:`CompiledModel.to_dict` artifact.  Files written by
+older versions (bare ``Schedule.to_dict()`` documents) still load: the
+registry falls back to the schedule form and lowers it against the served
+graph.
 """
 
 from __future__ import annotations
@@ -36,9 +41,11 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from ..core.cost_model import SimulatedCostModel
-from ..core.dp_scheduler import IOSScheduler, SchedulerConfig
+from ..core.dp_scheduler import IOSScheduler, SchedulerConfig, normalize_variant
 from ..core.schedule import Schedule
-from ..hardware.device import DeviceSpec
+from ..engine import CompiledModel, Engine
+from ..engine.compiled import ARTIFACT_VERSION
+from ..hardware.device import DeviceSpec, get_device
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
@@ -123,25 +130,25 @@ def _default_scheduler(device: DeviceSpec, profile: KernelProfile,
 
 
 class ScheduleRegistry:
-    """Disk-backed cache of batch-size/device-specialised schedules.
+    """Disk-backed cache of batch-size/device-specialised compiled models.
 
     Parameters
     ----------
     root:
-        Directory for persisted schedules.  ``None`` keeps the registry purely
+        Directory for persisted artifacts.  ``None`` keeps the registry purely
         in-memory (useful for unit tests); lookups then never touch disk.
     profile:
-        Kernel-library profile used when a miss forces a scheduler search.
+        Kernel-library profile used when a miss forces a compile.
     variant:
-        IOS variant compiled on a miss (``ios-both`` / ``ios-parallel`` /
-        ``ios-merge``).
+        IOS variant compiled on a miss; any spelling accepted by
+        :func:`repro.core.normalize_variant`.
     graph_builder:
         How to obtain the computation graph for ``(model, batch_size)``;
         defaults to :func:`repro.models.build_model`.  Override to serve
         graphs that are not in the model zoo.
     scheduler_factory:
-        Override the scheduler used on a miss (tests inject counting or
-        failing schedulers here).
+        Override the scheduler the per-device engines compile with (tests
+        inject counting or failing schedulers here).
     passes:
         Run the graph-rewriting pipeline of :mod:`repro.passes` on every
         built graph before scheduling/serving it.  ``True`` uses the default
@@ -161,13 +168,14 @@ class ScheduleRegistry:
     ):
         self.root = Path(root) if root is not None else None
         self.profile = profile
-        self.variant = variant
+        self.variant = normalize_variant(variant)
         self.passes = passes
         self._graph_builder = graph_builder or (
             lambda model, batch_size: build_model(model, batch_size=batch_size)
         )
         self._scheduler_factory = scheduler_factory or _default_scheduler
-        self._cache: dict[RegistryKey, Schedule] = {}
+        self._cache: dict[RegistryKey, CompiledModel] = {}
+        self._engines: dict[str, Engine] = {}
         self._graphs: dict[tuple[str, int], Graph] = {}
         self._fingerprints: dict[tuple[str, int], str] = {}
         self._warned_legacy: set[Path] = set()
@@ -185,17 +193,29 @@ class ScheduleRegistry:
             return None
         return self.root / key.model / key.filename()
 
+    def engine_for(self, device: DeviceSpec) -> Engine:
+        """The compile engine for ``device`` (one per device, shared cache).
+
+        The engine wraps whatever scheduler ``scheduler_factory`` builds, so
+        injected schedulers keep working; the served graphs are already
+        pass-optimised by :meth:`graph_for`, hence ``passes`` stays off here.
+        """
+        if device.name not in self._engines:
+            scheduler = self._scheduler_factory(device, self.profile, self.variant)
+            self._engines[device.name] = Engine(
+                device, profile=self.profile, scheduler=scheduler
+            )
+        return self._engines[device.name]
+
     def graph_for(self, model: str, batch_size: int) -> Graph:
         """The (optionally pass-optimised) graph served for ``(model, batch)``."""
         cache_key = (model, batch_size)
         if cache_key not in self._graphs:
             graph = self._graph_builder(model, batch_size)
             if self.passes:
-                from ..passes import optimize_graph
+                from ..engine.stages import apply_passes
 
-                graph = optimize_graph(
-                    graph, None if self.passes is True else self.passes
-                ).graph
+                graph, _ = apply_passes(graph, self.passes)
             self._graphs[cache_key] = graph
         return self._graphs[cache_key]
 
@@ -209,31 +229,48 @@ class ScheduleRegistry:
         return self._fingerprints[cache_key]
 
     # ----------------------------------------------------------------- lookups
-    def get(self, model: str, batch_size: int, device: DeviceSpec) -> Schedule:
-        """Fetch the specialised schedule, compiling and persisting on a miss."""
+    def get_compiled(self, model: str, batch_size: int, device: DeviceSpec) -> CompiledModel:
+        """Fetch the specialised compiled model, compiling/persisting on a miss.
+
+        Resolution order: in-memory cache → persisted artifact (zero
+        searches) → :meth:`engine_for` compile (the only path that searches).
+        """
         key = self.key(model, batch_size, device)
-        schedule = self._cache.get(key)
-        if schedule is not None:
+        compiled = self._cache.get(key)
+        if compiled is not None:
             self.stats.memory_hits += 1
-            return schedule
+            return compiled
 
-        schedule = self._load(key)
-        if schedule is not None:
+        compiled = self._load(key, device)
+        if compiled is not None:
             self.stats.disk_hits += 1
-            self._cache[key] = schedule
-            return schedule
+            self._cache[key] = compiled
+            return compiled
 
-        schedule = self._compile(key, device)
-        self._cache[key] = schedule
-        self._persist(key, schedule)
-        return schedule
+        compiled = self._compile(key, device)
+        self._cache[key] = compiled
+        self._persist(key, compiled)
+        return compiled
+
+    def get(self, model: str, batch_size: int, device: DeviceSpec) -> Schedule:
+        """Fetch the specialised schedule (see :meth:`get_compiled`)."""
+        return self.get_compiled(model, batch_size, device).schedule
 
     def put(self, model: str, batch_size: int, device: DeviceSpec | str,
             schedule: Schedule) -> None:
-        """Insert a schedule produced elsewhere (e.g. by an offline sweep)."""
+        """Insert a schedule produced elsewhere (e.g. by an offline sweep).
+
+        The schedule is lowered (and thereby validated) against the served
+        graph so the registry still hands out full compiled models.
+        """
         key = self.key(model, batch_size, device)
-        self._cache[key] = schedule
-        self._persist(key, schedule)
+        spec = get_device(device) if isinstance(device, str) else device
+        compiled = CompiledModel.from_schedule(
+            self.graph_for(model, batch_size), schedule, spec,
+            profile=self.profile, variant=self.variant,
+        )
+        self._cache[key] = compiled
+        self._persist(key, compiled)
 
     def contains(self, model: str, batch_size: int, device: DeviceSpec | str) -> bool:
         key = self.key(model, batch_size, device)
@@ -245,7 +282,7 @@ class ScheduleRegistry:
     def warmup(self, model: str, batch_sizes: Iterable[int], device: DeviceSpec) -> None:
         """Eagerly resolve a set of batch sizes (start-up precompilation)."""
         for batch_size in batch_sizes:
-            self.get(model, batch_size, device)
+            self.get_compiled(model, batch_size, device)
 
     def cached_batch_sizes(self, model: str, device: DeviceSpec | str) -> list[int]:
         """Batch sizes with a servable entry for ``(model, device)``.
@@ -294,7 +331,7 @@ class ScheduleRegistry:
         return sorted(found)
 
     # ------------------------------------------------------------ persistence
-    def _load(self, key: RegistryKey) -> Schedule | None:
+    def _load(self, key: RegistryKey, device: DeviceSpec) -> CompiledModel | None:
         path = self.path_for(key)
         if path is None:
             return None
@@ -302,21 +339,58 @@ class ScheduleRegistry:
             self._warn_if_legacy(key, path)
             return None
         try:
-            schedule = Schedule.load(path)
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # A truncated or hand-edited file must not take the service down
-            # (TypeError covers valid JSON of the wrong shape, e.g. a list):
-            # drop the entry and fall through to a fresh search.
-            self.stats.corrupt_entries += 1
-            path.unlink(missing_ok=True)
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            self._drop_corrupt(path)
             return None
         expected_graph = self.graph_for(key.model, key.batch_size)
-        if schedule.graph_name != expected_graph.name:
+        if CompiledModel.is_artifact(data):
+            if data.get("format_version") != ARTIFACT_VERSION:
+                # A different (likely newer) artifact format: miss without
+                # deleting, so a rollback or mixed-version deployment sharing
+                # a registry dir cannot destroy the other version's entries.
+                return None
+            try:
+                compiled = CompiledModel.from_dict(data, device=device, profile=self.profile)
+            except (KeyError, TypeError, ValueError):
+                # A hand-edited or half-written artifact must not take the
+                # service down: drop the entry and fall through to a compile.
+                self._drop_corrupt(path)
+                return None
+        else:
+            # Pre-engine layout: the file is a bare Schedule document.  Check
+            # provenance before lowering it against today's served graph.
+            try:
+                schedule = Schedule.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                self._drop_corrupt(path)
+                return None
+            if schedule.graph_name != expected_graph.name:
+                raise RegistryError(
+                    f"registry entry {path} holds a schedule for graph "
+                    f"{schedule.graph_name!r}, expected {expected_graph.name!r}"
+                )
+            try:
+                compiled = CompiledModel.from_schedule(
+                    expected_graph, schedule, device,
+                    profile=self.profile, variant=self.variant,
+                )
+            except (KeyError, TypeError, ValueError):
+                # Right graph name but stages that no longer validate against
+                # today's graph (e.g. renamed operators behind an unchanged
+                # rename-invariant fingerprint): drop and recompile.
+                self._drop_corrupt(path)
+                return None
+        if compiled.schedule.graph_name != expected_graph.name:
             raise RegistryError(
                 f"registry entry {path} holds a schedule for graph "
-                f"{schedule.graph_name!r}, expected {expected_graph.name!r}"
+                f"{compiled.schedule.graph_name!r}, expected {expected_graph.name!r}"
             )
-        return schedule
+        return compiled
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.stats.corrupt_entries += 1
+        path.unlink(missing_ok=True)
 
     def _warn_if_legacy(self, key: RegistryKey, path: Path) -> None:
         """Warn (once per file) when only a fingerprint-less entry exists.
@@ -340,13 +414,17 @@ class ScheduleRegistry:
                 stacklevel=3,
             )
 
-    def _persist(self, key: RegistryKey, schedule: Schedule) -> None:
+    def _persist(self, key: RegistryKey, compiled: CompiledModel) -> None:
         path = self.path_for(key)
         if path is not None:
-            schedule.save(path)
+            compiled.save(path)
 
-    def _compile(self, key: RegistryKey, device: DeviceSpec) -> Schedule:
-        self.stats.searches += 1
+    def _compile(self, key: RegistryKey, device: DeviceSpec) -> CompiledModel:
         graph = self.graph_for(key.model, key.batch_size)
-        scheduler = self._scheduler_factory(device, self.profile, self.variant)
-        return scheduler.optimize_graph(graph).schedule
+        engine = self.engine_for(device)
+        searches_before = engine.stats.searches
+        compiled = engine.compile(graph)
+        # Only count compiles that actually ran the DP search; the engine's
+        # own fingerprint cache may have satisfied this miss for free.
+        self.stats.searches += engine.stats.searches - searches_before
+        return compiled

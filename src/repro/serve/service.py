@@ -8,11 +8,13 @@ full pipeline on the virtual clock:
    max-batch/max-wait policy;
 2. each formed batch picks the earliest-available worker, then the
    :class:`~repro.serve.batcher.BatchSizeSelector` picks the best
-   batch-size-specialised schedule for that worker's device from the
-   :class:`~repro.serve.registry.ScheduleRegistry` (compiling on a cold miss,
-   loading from disk on a warm one);
-3. the :class:`~repro.serve.workers.WorkerPool` executes the lowered plan on
-   the simulated device and the per-request timeline is recorded.
+   batch-size-specialised :class:`~repro.engine.CompiledModel` for that
+   worker's device from the :class:`~repro.serve.registry.ScheduleRegistry`
+   (compiling through :class:`repro.engine.Engine` on a cold miss, loading
+   the persisted artifact — zero scheduler searches — on a warm one);
+3. the :class:`~repro.serve.workers.WorkerPool` executes the compiled model's
+   execution plan on the simulated device and the per-request timeline is
+   recorded.
 
 The result is a :class:`~repro.serve.metrics.ServingReport`.
 """
@@ -22,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.dp_scheduler import normalize_variant
 from ..hardware.device import get_device
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from .batcher import BatchPolicy, BatchSizeSelector, DynamicBatcher
@@ -62,6 +65,9 @@ class ServingConfig:
             raise ValueError("serving needs at least one device")
         if not self.batch_sizes:
             raise ValueError("batch_sizes ladder must not be empty")
+        # Canonicalise drifted variant spellings so the config, the registry
+        # key and the CLI can never disagree (frozen dataclass, hence setattr).
+        object.__setattr__(self, "variant", normalize_variant(self.variant))
 
     @classmethod
     def unbatched(cls, **overrides) -> "ServingConfig":
@@ -173,10 +179,10 @@ class InferenceService:
         num_samples = sum(request.num_samples for request in chunk)
         worker = self.pool.next_worker(batch.formed_ms)
         rung = self.selector.select(self.config.model, num_samples, worker.device)
-        graph = self.registry.graph_for(self.config.model, rung)
-        schedule = self.registry.get(self.config.model, rung, worker.device)
+        compiled = self.registry.get_compiled(self.config.model, rung, worker.device)
         dispatch = self.pool.dispatch(
-            graph, schedule, worker, ready_ms=batch.formed_ms, num_samples=num_samples
+            compiled.graph, compiled.schedule, worker,
+            ready_ms=batch.formed_ms, num_samples=num_samples, plan=compiled.plan,
         )
         batch_size_counts[rung] = batch_size_counts.get(rung, 0) + 1
         for request in chunk:

@@ -113,23 +113,33 @@ class WorkerPool:
             key=lambda worker: (max(worker.busy_until_ms, ready_ms), worker.worker_id),
         )
 
-    def plan_latency_ms(self, graph: Graph, schedule: Schedule, worker: Worker) -> float:
-        """Deterministic execution latency of the plan on the worker's device."""
+    def plan_latency_ms(self, graph: Graph, schedule: Schedule, worker: Worker,
+                        plan: ExecutionPlan | None = None) -> float:
+        """Deterministic execution latency of the plan on the worker's device.
+
+        ``plan`` optionally seeds the pool's plan cache with an already
+        lowered plan (e.g. from a :class:`~repro.engine.CompiledModel`), so
+        the pool never re-lowers what the engine already produced.
+        """
         key = self._plan_key(graph, schedule, worker)
         if key not in self._latency_cache:
+            if plan is not None:
+                self._plan_cache.setdefault(key, plan)
             plan = self._plan(key, graph, schedule)
             self._latency_cache[key] = worker.executor.run(plan).latency_ms
         return self._latency_cache[key]
 
-    def plan_latency_for(self, graph: Graph, schedule: Schedule, device: DeviceSpec) -> float:
+    def plan_latency_for(self, graph: Graph, schedule: Schedule, device: DeviceSpec,
+                         plan: ExecutionPlan | None = None) -> float:
         """Plan latency on whichever worker runs ``device`` (they are identical).
 
         Lets schedule selection share the pool's lowered-plan/latency caches
-        instead of lowering and simulating the same plan a second time.
+        instead of lowering and simulating the same plan a second time; an
+        engine-lowered ``plan`` seeds the cache (see :meth:`plan_latency_ms`).
         """
         for worker in self.workers:
             if worker.device.name == device.name:
-                return self.plan_latency_ms(graph, schedule, worker)
+                return self.plan_latency_ms(graph, schedule, worker, plan=plan)
         raise ValueError(f"no worker in the pool runs device {device.name!r}")
 
     def dispatch(
@@ -139,13 +149,16 @@ class WorkerPool:
         worker: Worker,
         ready_ms: float,
         num_samples: int | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> DispatchResult:
         """Execute ``schedule`` for ``graph`` on ``worker``, advancing its horizon.
 
         ``num_samples`` is the real demand carried by the batch; it defaults to
-        the graph's (possibly padded) batch size.
+        the graph's (possibly padded) batch size.  ``plan`` optionally seeds
+        the plan cache with an engine-lowered plan (see
+        :meth:`plan_latency_ms`).
         """
-        execution_ms = self.plan_latency_ms(graph, schedule, worker)
+        execution_ms = self.plan_latency_ms(graph, schedule, worker, plan=plan)
         start_ms = max(worker.busy_until_ms, ready_ms)
         end_ms = start_ms + execution_ms
         worker.busy_until_ms = end_ms

@@ -115,8 +115,10 @@ class TestFailureModes:
         fresh.get("m", 1, v100)
         assert fresh.stats.corrupt_entries == 1
         assert fresh.stats.searches == 1
-        # The rewritten entry must be valid again.
-        assert Schedule.load(path).graph_name == "chain"
+        # The rewritten entry must be a valid full artifact again.
+        from repro.engine import CompiledModel
+
+        assert CompiledModel.load(path).schedule.graph_name == "chain"
 
     def test_wrong_shape_json_is_dropped_and_recompiled(self, registry, tmp_path, v100):
         # Valid JSON of the wrong shape (here a list) must be treated exactly
@@ -194,6 +196,103 @@ class TestFailureModes:
         merge.get("m", 1, v100)
         assert merge.stats.searches == 1  # no cross-variant reuse
         assert both.path_for(both.key("m", 1, v100)) != merge.path_for(merge.key("m", 1, v100))
+
+
+class TestCompiledArtifacts:
+    def test_persisted_entry_is_a_full_artifact(self, registry, v100):
+        from repro.engine import CompiledModel
+
+        registry.get("m", 1, v100)
+        path = registry.path_for(registry.key("m", 1, v100))
+        compiled = CompiledModel.load(path)
+        assert compiled.schedule.graph_name == "chain"
+        assert compiled.plan.num_stages() == len(compiled.schedule)
+        assert compiled.fingerprint == registry.key("m", 1, v100).fingerprint
+        assert compiled.latency_ms() > 0
+
+    def test_warm_start_performs_zero_searches_even_without_a_scheduler(
+            self, registry, tmp_path, v100):
+        # The artifact alone must be enough: a registry whose scheduler
+        # factory explodes can still serve every warm entry.
+        registry.warmup("m", [1, 2], v100)
+
+        def exploding_factory(device, profile, variant):
+            raise AssertionError("warm start must not construct a scheduler")
+
+        warm = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder,
+                                scheduler_factory=exploding_factory)
+        compiled = warm.get_compiled("m", 1, v100)
+        warm.get_compiled("m", 2, v100)
+        assert warm.stats.searches == 0
+        assert warm.stats.disk_hits == 2
+        assert compiled.schedule == registry.get("m", 1, v100)
+
+    def test_get_compiled_and_get_agree(self, registry, v100):
+        compiled = registry.get_compiled("m", 2, v100)
+        assert registry.get("m", 2, v100) is compiled.schedule
+        assert registry.stats.memory_hits == 1
+
+    def test_legacy_schedule_document_still_loads(self, registry, tmp_path, v100):
+        # Files written before the artifact format (bare Schedule.to_dict())
+        # must load as a disk hit, lowered against today's served graph.
+        compiled = registry.get_compiled("m", 1, v100)
+        path = registry.path_for(registry.key("m", 1, v100))
+        compiled.schedule.save(path)  # overwrite with the pre-engine layout
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        reloaded = fresh.get_compiled("m", 1, v100)
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.searches == 0
+        assert reloaded.schedule == compiled.schedule
+        assert reloaded.plan.num_stages() == compiled.plan.num_stages()
+
+    def test_legacy_schedule_with_stale_operator_names_is_dropped(
+            self, registry, tmp_path, v100):
+        # Right graph name, wrong operators (e.g. nodes renamed behind the
+        # rename-invariant fingerprint): must recompile, not crash the lookup.
+        registry.get("m", 1, v100)
+        path = registry.path_for(registry.key("m", 1, v100))
+        Schedule(graph_name="chain",
+                 stages=[Stage(operators=("no_such_op",))]).save(path)
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        fresh.get("m", 1, v100)
+        assert fresh.stats.corrupt_entries == 1
+        assert fresh.stats.searches == 1
+
+    def test_newer_artifact_version_misses_without_deleting(
+            self, registry, tmp_path, v100):
+        # A mixed-version or rolled-back deployment sharing a registry dir
+        # must never destroy the other version's entries on sight.
+        import json
+
+        registry.get("m", 1, v100)
+        key = registry.key("m", 1, v100)
+        path = registry.path_for(key)
+        data = json.loads(path.read_text())
+        data["format_version"] = 99
+        path.write_text(json.dumps(data))
+
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        # The load itself must miss but leave the foreign-version file alone
+        # (unlike a corrupt entry, which is unlinked on sight).
+        assert fresh._load(fresh.key("m", 1, v100), v100) is None
+        assert fresh.stats.corrupt_entries == 0
+        assert json.loads(path.read_text())["format_version"] == 99
+
+        # A full lookup then recompiles (one search) and re-persists.
+        fresh.get("m", 1, v100)
+        assert fresh.stats.searches == 1
+        assert json.loads(path.read_text())["format_version"] == 1
+
+    def test_variant_normalization_in_registry_key(self, tmp_path, v100):
+        drifted = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder,
+                                   variant="IOS_Both")
+        assert drifted.variant == "ios-both"
+        canonical = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        drifted.get("m", 1, v100)
+        canonical.get("m", 1, v100)
+        assert canonical.stats.searches == 0  # same key, warm from disk
 
 
 class TestPassOptimizedEntries:

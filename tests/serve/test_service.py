@@ -90,6 +90,19 @@ class TestInferenceService:
         assert service.selector._latency_cache
         assert len(service.pool._latency_cache) >= len(service.selector._latency_cache)
 
+    def test_pool_executes_the_engine_lowered_plans(self):
+        # The pool must never re-lower what the engine already produced: every
+        # cached plan is the identical ExecutionPlan object carried by the
+        # registry's compiled models.
+        service = toy_service()
+        service.run(requests_for(20, num_samples=2))
+        assert service.pool._plan_cache
+        engine_plans = {
+            id(compiled.plan) for compiled in service.registry._cache.values()
+        }
+        for plan in service.pool._plan_cache.values():
+            assert id(plan) in engine_plans
+
     def test_wrong_model_rejected(self):
         service = toy_service()
         with pytest.raises(ValueError, match="serves"):
