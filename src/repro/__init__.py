@@ -16,7 +16,8 @@ The package is organised as:
 * :mod:`repro.frameworks` — simulated baseline frameworks (TF, XLA, TASO, TVM, TensorRT);
 * :mod:`repro.experiments` — one harness per table/figure of the paper;
 * :mod:`repro.serve` — batch-aware inference serving: persistent compiled-model
-  registry, dynamic batcher, simulated worker pool, synthetic traffic.
+  registry, dynamic batcher, heterogeneous device fleets with pluggable
+  routing, simulated worker pool, synthetic traffic.
 
 Quick start::
 
@@ -44,7 +45,7 @@ from .core import (
 )
 from .engine import CompiledModel, Engine, get_engine
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "TensorShape",

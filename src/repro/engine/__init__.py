@@ -48,7 +48,7 @@ from ..core.dp_scheduler import (
     variant_label,
 )
 from .compiled import ARTIFACT_FORMAT, CompiledModel, CompileStats, StageTiming
-from .engine import Engine, EngineStats, clear_engine_pool, get_engine
+from .engine import Engine, EngineStats, clear_engine_pool, get_engine, get_engines
 from .stages import apply_passes, graph_identity, node_digest
 
 __all__ = [
@@ -59,6 +59,7 @@ __all__ = [
     "StageTiming",
     "ARTIFACT_FORMAT",
     "get_engine",
+    "get_engines",
     "clear_engine_pool",
     "apply_passes",
     "graph_identity",

@@ -51,10 +51,12 @@ class StageTiming:
     detail: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-clean dict form (artifact serialisation)."""
         return {"stage": self.stage, "elapsed_s": self.elapsed_s, "detail": dict(self.detail)}
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "StageTiming":
+        """Rebuild from :meth:`as_dict` output."""
         return cls(
             stage=data["stage"],
             elapsed_s=float(data["elapsed_s"]),
@@ -93,10 +95,12 @@ class CompileStats:
         return None
 
     def stage_elapsed_s(self, name: str) -> float:
+        """Wall-clock seconds of the named stage (0.0 when not recorded)."""
         timing = self.stage(name)
         return timing.elapsed_s if timing is not None else 0.0
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-clean dict form (artifact serialisation)."""
         return {
             "stages": [stage.as_dict() for stage in self.stages],
             "source_fingerprint": self.source_fingerprint,
@@ -110,6 +114,7 @@ class CompileStats:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any] | None) -> "CompileStats":
+        """Rebuild from :meth:`as_dict` output (tolerates missing fields)."""
         if not data:
             return cls(searched=False)
         return cls(
@@ -124,6 +129,7 @@ class CompileStats:
         )
 
     def describe(self) -> str:
+        """Human-readable per-stage timing breakdown."""
         lines = [
             f"compile: {self.operators_in} -> {self.operators_out} operators, "
             f"{self.elapsed_s * 1e3:.2f} ms total"
@@ -166,10 +172,12 @@ class CompiledModel:
     # ------------------------------------------------------------- identity
     @property
     def model(self) -> str:
+        """Name of the compiled graph (the registry's model key)."""
         return self.graph.name
 
     @property
     def batch_size(self) -> int:
+        """Batch size the graph (and hence the schedule) is specialised for."""
         return self.graph.batch_size
 
     # ------------------------------------------------------------ execution

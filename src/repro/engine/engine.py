@@ -41,7 +41,7 @@ from ..ir.graph import Graph
 from .compiled import CompiledModel, CompileStats, StageTiming
 from .stages import apply_passes, graph_identity, node_digest
 
-__all__ = ["Engine", "EngineStats", "get_engine", "clear_engine_pool"]
+__all__ = ["Engine", "EngineStats", "get_engine", "get_engines", "clear_engine_pool"]
 
 
 @dataclass
@@ -58,6 +58,7 @@ class EngineStats:
     loads: int = 0
 
     def as_dict(self) -> dict[str, int]:
+        """All counters as one flat dict (reports, benchmarks)."""
         return {
             "compiles": self.compiles,
             "cache_hits": self.cache_hits,
@@ -295,6 +296,7 @@ class Engine:
         return self._cache.get(graph_identity(graph))
 
     def clear_cache(self) -> None:
+        """Drop every cached compiled model (the stats counters remain)."""
         self._cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -352,6 +354,46 @@ def get_engine(
         engine = Engine(spec, passes=passes, variant=label, pruning=prune, profile=profile)
         _ENGINE_POOL[key] = engine
     return engine
+
+
+def get_engines(
+    devices,
+    *,
+    passes=False,
+    variant: str | None = None,
+    pruning: PruningStrategy | None = None,
+    profile: KernelProfile = CUDNN_PROFILE,
+) -> dict[str, Engine]:
+    """Pooled engines for several devices at once (fleet compile fan-out).
+
+    The multi-device companion of :func:`get_engine`: resolves each entry of
+    ``devices`` (names, :class:`~repro.hardware.device.DeviceSpec` objects,
+    or a :class:`~repro.serve.fleet.FleetSpec` — anything with
+    ``device_types()``) and returns ``{device_name: Engine}`` in a stable
+    order, deduplicating replicas.  Compiling one graph through every engine
+    of a mixed fleet yields the per-device
+    :class:`~repro.engine.compiled.CompiledModel` set that device-aware
+    routing predicts latencies from.
+
+    Parameters
+    ----------
+    devices:
+        Iterable of device names/specs, or an object exposing
+        ``device_types()`` (e.g. ``FleetSpec.parse("k80:2,v100:4")``).
+    passes, variant, pruning, profile:
+        Shared compile environment, exactly as :func:`get_engine`.
+    """
+    device_types = getattr(devices, "device_types", None)
+    if callable(device_types):
+        devices = device_types()
+    engines: dict[str, Engine] = {}
+    for device in devices:
+        spec = get_device(device) if isinstance(device, str) else device
+        if spec.name not in engines:
+            engines[spec.name] = get_engine(
+                spec, passes=passes, variant=variant, pruning=pruning, profile=profile
+            )
+    return engines
 
 
 def clear_engine_pool() -> None:

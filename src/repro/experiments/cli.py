@@ -15,6 +15,8 @@ figures reuse the cache.  Examples::
     ios-bench all --quick --csv-dir results/
     ios-bench serve --model inception_v3 --pattern poisson --requests 500
     ios-bench serve --compare --registry-dir schedules/ --csv-dir results/
+    ios-bench serve --fleet k80:2,v100:4 --router earliest-finish
+    ios-bench serve --fleet k80:2,v100:4 --compare   # fleet-comparison table
 """
 
 from __future__ import annotations
@@ -112,8 +114,11 @@ def serve_main(argv: list[str] | None = None) -> int:
     # figure/table experiments never need.
     from ..serve import (
         BatchPolicy,
+        FleetSpec,
         ServingConfig,
         TrafficConfig,
+        list_routers,
+        run_fleet_comparison,
         run_serving,
         run_serving_comparison,
     )
@@ -121,12 +126,21 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="ios-bench serve",
         description="Serve synthetic traffic with batch-size-specialised IOS schedules "
-        "on a pool of simulated devices.",
+        "on a pool of simulated devices (optionally a mixed-device fleet).",
     )
     parser.add_argument("--model", default="inception_v3", help="model to serve")
-    parser.add_argument("--device", default="v100", help="device preset for the workers")
-    parser.add_argument("--num-workers", type=int, default=2,
-                        help="number of simulated devices in the pool")
+    parser.add_argument("--device", default=None,
+                        help="device preset for a homogeneous pool (default: v100; "
+                        "conflicts with --fleet)")
+    parser.add_argument("--num-workers", type=int, default=None,
+                        help="number of simulated devices in the pool (default: 2; "
+                        "conflicts with --fleet)")
+    parser.add_argument("--fleet", default=None, metavar="DEV:N[,DEV:N...]",
+                        help="mixed-device worker groups, e.g. 'k80:2,v100:4'; "
+                        "with --compare, runs the mixed-vs-homogeneous fleet table")
+    parser.add_argument("--router", default="earliest-finish", choices=list_routers(),
+                        help="routing policy dispatching batches to workers "
+                        "(default: earliest-finish, the device-aware policy)")
     parser.add_argument("--pattern", choices=["poisson", "bursty", "uniform"],
                         default=None,
                         help="synthetic arrival pattern (default: poisson; "
@@ -165,8 +179,22 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     if args.requests <= 0:
         parser.error(f"--requests must be positive, got {args.requests}")
-    if args.num_workers <= 0:
+    if args.num_workers is not None and args.num_workers <= 0:
         parser.error(f"--num-workers must be positive, got {args.num_workers}")
+    fleet = None
+    if args.fleet is not None:
+        if args.device is not None or args.num_workers is not None:
+            parser.error("--fleet declares the whole pool; "
+                         "drop --device/--num-workers")
+        try:
+            fleet = FleetSpec.parse(args.fleet)
+        except (KeyError, ValueError) as error:
+            # str(KeyError) is the repr of its argument; unwrap for a clean
+            # message.
+            message = error.args[0] if isinstance(error, KeyError) else error
+            parser.error(f"bad --fleet spec: {message}")
+    device = args.device or "v100"
+    num_workers = args.num_workers or 2
     if args.rate <= 0:
         parser.error(f"--rate must be positive, got {args.rate}")
     if args.burst_size <= 0:
@@ -194,15 +222,28 @@ def serve_main(argv: list[str] | None = None) -> int:
         if args.no_batching:
             parser.error("--no-batching conflicts with --compare "
                          "(the comparison already includes the unbatched baseline)")
-        table = run_serving_comparison(
-            model=args.model, device=args.device, num_workers=args.num_workers,
-            num_requests=args.requests, rate_rps=args.rate, batch_sizes=batch_sizes,
-            max_wait_ms=max_wait_ms,
-            patterns=(args.pattern,) if args.pattern else ("poisson", "bursty"),
-            burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
-            variant=args.variant, registry_root=args.registry_dir,
-            seed=args.seed, passes=args.passes,
-        )
+        if fleet is not None:
+            # Fleet comparison: the mixed fleet vs equally-sized homogeneous
+            # fleets of each member device type.
+            table = run_fleet_comparison(
+                model=args.model, fleet=fleet, routers=(args.router,),
+                num_requests=args.requests, rate_rps=args.rate,
+                batch_sizes=batch_sizes, max_wait_ms=max_wait_ms,
+                patterns=(args.pattern,) if args.pattern else ("poisson", "bursty"),
+                burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
+                variant=args.variant, registry_root=args.registry_dir,
+                seed=args.seed, passes=args.passes,
+            )
+        else:
+            table = run_serving_comparison(
+                model=args.model, device=device, num_workers=num_workers,
+                num_requests=args.requests, rate_rps=args.rate, batch_sizes=batch_sizes,
+                max_wait_ms=max_wait_ms,
+                patterns=(args.pattern,) if args.pattern else ("poisson", "bursty"),
+                burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
+                variant=args.variant, registry_root=args.registry_dir,
+                seed=args.seed, passes=args.passes,
+            )
         print(table.to_text())
         _write_csv(table, args.csv_dir)
         return 0
@@ -227,20 +268,22 @@ def serve_main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         traffic = capped
+    pool = dict(fleet=fleet) if fleet is not None else dict(
+        devices=(device,) * num_workers
+    )
     if args.no_batching:
         serving = ServingConfig.unbatched(
-            model=args.model, devices=(args.device,) * args.num_workers,
-            batch_sizes=batch_sizes, variant=args.variant,
+            model=args.model, batch_sizes=batch_sizes, variant=args.variant,
             registry_root=args.registry_dir, passes=args.passes,
+            router=args.router, **pool,
         )
     else:
         serving = ServingConfig(
-            model=args.model, devices=(args.device,) * args.num_workers,
-            batch_sizes=batch_sizes,
+            model=args.model, batch_sizes=batch_sizes,
             policy=BatchPolicy(max_batch_size=max(batch_sizes),
                                max_wait_ms=max_wait_ms),
             variant=args.variant, registry_root=args.registry_dir,
-            passes=args.passes,
+            passes=args.passes, router=args.router, **pool,
         )
     report = run_serving(traffic, serving)
     print(report.describe())

@@ -6,7 +6,7 @@ parameters, operators are lowered to kernel launch geometries, and concurrent
 execution across CUDA streams is simulated with a fluid contention model.
 """
 
-from .device import DEVICE_REGISTRY, DeviceSpec, get_device, list_devices
+from .device import DEVICE_REGISTRY, DeviceSpec, get_device, get_devices, list_devices
 from .kernel import (
     CUDNN_PROFILE,
     KERNEL_PROFILES,
@@ -35,6 +35,7 @@ __all__ = [
     "DeviceSpec",
     "DEVICE_REGISTRY",
     "get_device",
+    "get_devices",
     "list_devices",
     "KernelProfile",
     "KernelSpec",

@@ -18,8 +18,9 @@ set of published architectural parameters that the simulator consumes:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable
 
-__all__ = ["DeviceSpec", "DEVICE_REGISTRY", "get_device", "list_devices"]
+__all__ = ["DeviceSpec", "DEVICE_REGISTRY", "get_device", "get_devices", "list_devices"]
 
 
 @dataclass(frozen=True)
@@ -195,6 +196,15 @@ def get_device(name: str) -> DeviceSpec:
     if key not in DEVICE_REGISTRY:
         raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICE_REGISTRY)}")
     return DEVICE_REGISTRY[key]
+
+
+def get_devices(names: "Iterable[str]") -> list[DeviceSpec]:
+    """Look up several device presets at once (fleet members, worker pools).
+
+    Order and multiplicity are preserved — pass one name per worker.  Raises
+    :class:`KeyError` (listing the catalog) on the first unknown name.
+    """
+    return [get_device(name) for name in names]
 
 
 def list_devices() -> list[str]:

@@ -12,14 +12,19 @@ end-to-end inference service:
 * :mod:`repro.serve.batcher` — :class:`DynamicBatcher` (max-batch/max-wait
   request grouping) and :class:`BatchSizeSelector` (cross-evaluating schedule
   choice, reusing the Table-3 specialisation logic);
-* :mod:`repro.serve.workers` — :class:`WorkerPool` dispatching lowered plans
-  across simulated devices;
+* :mod:`repro.serve.workers` — :class:`WorkerPool` executing compiled plans
+  across simulated devices, each worker with its own device identity;
+* :mod:`repro.serve.fleet` — heterogeneous fleets: :class:`FleetSpec`
+  (``"k80:2,v100:4"`` worker groups) and pluggable :class:`Router` policies
+  (device-aware earliest-finish plus earliest-start / round-robin /
+  least-loaded baselines);
 * :mod:`repro.serve.traffic` — reproducible Poisson / bursty / uniform
   synthetic traffic;
 * :mod:`repro.serve.service` — :class:`InferenceService`, the composition
   root, and :class:`ServingConfig`;
 * :mod:`repro.serve.metrics` — per-request records folded into a
-  :class:`ServingReport` (throughput, p50/p95/p99 latency, queue delay);
+  :class:`ServingReport` (throughput, p50/p95/p99 latency, queue delay,
+  per-device-group utilisation);
 * :mod:`repro.serve.experiment` — table-producing harnesses for the
   ``ios-bench serve`` subcommand and the benchmark suite.
 
@@ -30,16 +35,27 @@ Quick start::
         TrafficGenerator,
     )
 
-    config = ServingConfig(model="inception_v3", devices=("v100", "v100"),
+    config = ServingConfig(model="inception_v3", fleet="k80:2,v100:4",
                            registry_root="schedules/")
     service = InferenceService(config)
-    service.warmup()    # Engine.compile once; later runs load the artifacts
+    service.warmup()    # one compile fan-out per device type; then artifacts
     requests = TrafficGenerator(TrafficConfig(num_requests=500)).generate()
     print(service.run(requests).describe())
 """
 
 from .batcher import BatchPolicy, BatchSizeSelector, DynamicBatcher
-from .experiment import run_serving, run_serving_comparison
+from .experiment import run_fleet_comparison, run_serving, run_serving_comparison
+from .fleet import (
+    ROUTERS,
+    EarliestFinishRouter,
+    EarliestStartRouter,
+    FleetSpec,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+    get_router,
+    list_routers,
+)
 from .metrics import LatencySummary, ServingReport, build_report, percentile
 from .registry import RegistryError, RegistryKey, RegistryStats, ScheduleRegistry
 from .request import FormedBatch, InferenceRequest, RequestRecord
@@ -58,14 +74,21 @@ __all__ = [
     "BatchSizeSelector",
     "DynamicBatcher",
     "DispatchResult",
+    "EarliestFinishRouter",
+    "EarliestStartRouter",
+    "FleetSpec",
     "FormedBatch",
     "InferenceRequest",
     "InferenceService",
     "LatencySummary",
+    "LeastLoadedRouter",
+    "ROUTERS",
     "RegistryError",
     "RegistryKey",
     "RegistryStats",
     "RequestRecord",
+    "RoundRobinRouter",
+    "Router",
     "ScheduleRegistry",
     "ServingConfig",
     "ServingReport",
@@ -75,8 +98,11 @@ __all__ = [
     "WorkerPool",
     "build_report",
     "bursty_arrivals",
+    "get_router",
+    "list_routers",
     "percentile",
     "poisson_arrivals",
+    "run_fleet_comparison",
     "run_serving",
     "run_serving_comparison",
     "uniform_arrivals",

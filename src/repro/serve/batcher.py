@@ -151,6 +151,7 @@ class BatchSizeSelector:
 
     @property
     def max_batch_size(self) -> int:
+        """The largest ladder rung — the biggest batch the service can run."""
         return self.batch_sizes[-1]
 
     def select(self, model: str, num_samples: int, device: DeviceSpec) -> int:
@@ -173,6 +174,19 @@ class BatchSizeSelector:
                 best_rung, best_latency = rung, latency
         self._choice_cache[cache_key] = best_rung
         return best_rung
+
+    def predicted_latency(self, model: str, num_samples: int,
+                          device: DeviceSpec) -> float:
+        """Predicted execution latency (ms) of a batch on ``device``.
+
+        The latency of the ladder rung :meth:`select` would run the batch at,
+        from the memoised cross-evaluation measurements.  This is what the
+        device-aware routers rank workers with; calling it for a device with
+        no registry entry triggers the cold compile, exactly like dispatching
+        to that device would.
+        """
+        rung = self.select(model, num_samples, device)
+        return self._candidate_latency(model, rung, device)
 
     @staticmethod
     def _accepts_plan(measure: Callable[..., float]) -> bool:

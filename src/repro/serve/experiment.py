@@ -1,23 +1,32 @@
 """Reproducible serving experiments.
 
 The paper's figures measure schedules in isolation; these harnesses measure
-them *in service*: synthetic traffic flows through the batcher → registry →
-worker pool pipeline and the resulting throughput/latency numbers land in the
-same :class:`~repro.experiments.tables.ExperimentTable` container as every
-paper figure, so serving runs are printable, CSV-exportable and benchmarkable
-with the existing machinery.
+them *in service*: synthetic traffic flows through the batcher → router →
+registry → worker pool pipeline and the resulting throughput/latency numbers
+land in the same :class:`~repro.experiments.tables.ExperimentTable` container
+as every paper figure, so serving runs are printable, CSV-exportable and
+benchmarkable with the existing machinery.
+
+Two comparisons are provided:
+
+* :func:`run_serving_comparison` — dynamic batching vs. the no-batching
+  baseline on a homogeneous pool (the PR-1 study);
+* :func:`run_fleet_comparison` — a mixed-device fleet vs. equally-sized
+  homogeneous fleets of each member device type, under Poisson and bursty
+  traffic: the heterogeneity study.
 """
 
 from __future__ import annotations
 
 from ..experiments.tables import ExperimentTable
 from .batcher import BatchPolicy
+from .fleet import FleetSpec
 from .metrics import ServingReport
 from .registry import ScheduleRegistry
 from .service import InferenceService, ServingConfig
 from .traffic import TrafficConfig, TrafficGenerator
 
-__all__ = ["run_serving", "run_serving_comparison"]
+__all__ = ["run_serving", "run_serving_comparison", "run_fleet_comparison"]
 
 
 def run_serving(
@@ -112,4 +121,102 @@ def run_serving_comparison(
                 mean_queue_ms=report.queue_delay.mean_ms,
                 searches=registry.stats.searches,
             )
+    return table
+
+
+def _group_utilization(report: ServingReport) -> str:
+    """Compact per-device-group utilisation cell, e.g. ``k80:2@41% v100:4@87%``."""
+    return " ".join(
+        f"{row['device']}:{row['workers']}@{row['utilization']:.0%}"
+        for row in report.device_summary
+    )
+
+
+def run_fleet_comparison(
+    model: str = "squeezenet",
+    fleet: "FleetSpec | str" = "k80:2,v100:4",
+    routers: tuple[str, ...] = ("earliest-finish",),
+    num_requests: int = 300,
+    rate_rps: float = 2000.0,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16),
+    max_wait_ms: float = 5.0,
+    patterns: tuple[str, ...] = ("poisson", "bursty"),
+    burst_size: int = 32,
+    burst_gap_ms: float = 20.0,
+    variant: str = "ios-both",
+    registry_root: str | None = None,
+    seed: int = 0,
+    passes: bool = False,
+) -> ExperimentTable:
+    """Mixed fleet vs. equally-sized homogeneous fleets, per traffic pattern.
+
+    For the given (typically mixed) ``fleet``, every member device type also
+    runs as a *homogeneous* fleet of the same total worker count, so the
+    comparison isolates device heterogeneity from pool size.  Each row serves
+    the identical seeded workload; one schedule registry is shared by all
+    runs (fleets sharing a device type reuse its compiled artifacts, exactly
+    like deployments sharing a schedule store).  Under load, the mixed fleet
+    must beat the homogeneous fleet of its slowest member device — that is
+    the acceptance bar the fleet tests assert on.
+
+    Parameters
+    ----------
+    model, batch_sizes, max_wait_ms, variant, registry_root, passes:
+        Service knobs, as in :func:`run_serving_comparison`.
+    fleet:
+        The mixed fleet under study (spec object or ``"k80:2,v100:4"``).
+    routers:
+        Routing policies to measure; each gets its own rows.
+    num_requests, rate_rps, patterns, burst_size, burst_gap_ms, seed:
+        Traffic shape per pattern, shared by every fleet.
+    """
+    fleet = FleetSpec.of(fleet)
+    fleets: dict[str, FleetSpec] = {fleet.describe(): fleet}
+    for device in fleet.device_types():
+        homogeneous = FleetSpec.homogeneous(device, fleet.num_workers)
+        fleets.setdefault(homogeneous.describe(), homogeneous)
+
+    table = ExperimentTable(
+        experiment_id="fleet_comparison",
+        title=f"Serving {model} on mixed vs homogeneous fleets "
+        f"({fleet.describe()}, {fleet.num_workers} workers each)",
+        columns=[
+            "fleet", "pattern", "router", "requests", "batches",
+            "throughput_rps", "samples_per_s", "p50_ms", "p95_ms",
+            "groups", "searches",
+        ],
+        notes="every fleet serves the identical seeded workload; 'groups' is "
+        "per-device-group utilisation; one schedule registry is shared, so "
+        "'searches' is cumulative across rows",
+    )
+
+    registry = ScheduleRegistry(root=registry_root, variant=variant, passes=passes)
+    policy = BatchPolicy(max_batch_size=max(batch_sizes), max_wait_ms=max_wait_ms)
+    for pattern in patterns:
+        traffic = TrafficConfig(
+            model=model, pattern=pattern, num_requests=num_requests,
+            rate_rps=rate_rps, burst_size=burst_size, burst_gap_ms=burst_gap_ms,
+            seed=seed,
+        ).capped_to(max(batch_sizes))
+        for fleet_name, members in fleets.items():
+            for router in routers:
+                serving = ServingConfig(
+                    model=model, fleet=members, router=router,
+                    batch_sizes=batch_sizes, policy=policy, variant=variant,
+                    passes=passes,
+                )
+                report = run_serving(traffic, serving, registry=registry)
+                table.add_row(
+                    fleet=fleet_name,
+                    pattern=pattern,
+                    router=router,
+                    requests=report.num_requests,
+                    batches=report.num_batches,
+                    throughput_rps=report.throughput_rps,
+                    samples_per_s=report.throughput_samples_per_s,
+                    p50_ms=report.latency.p50_ms,
+                    p95_ms=report.latency.p95_ms,
+                    groups=_group_utilization(report),
+                    searches=registry.stats.searches,
+                )
     return table

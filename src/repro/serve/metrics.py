@@ -5,6 +5,12 @@ request; :func:`build_report` folds them into the numbers a serving system is
 judged by — throughput (requests/s and samples/s), latency percentiles
 (p50/p95/p99), queue delay, batch-size distribution — plus the registry and
 worker statistics that explain *why* the numbers look the way they do.
+
+Heterogeneous fleets additionally get a **per-device-group** breakdown
+(``ServingReport.device_summary``): for each device type, worker count,
+batches/samples executed, group utilisation, and the latency summary of the
+requests that ran on that group — the numbers that show whether the router
+actually put the fast silicon to work.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ class LatencySummary:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        """Summarise a non-empty sequence of latency samples."""
         return cls(
             mean_ms=sum(values) / len(values),
             p50_ms=percentile(values, 50),
@@ -50,6 +57,7 @@ class LatencySummary:
         )
 
     def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """Flat dict form with keys prefixed by ``prefix`` (CSV columns)."""
         return {
             f"{prefix}mean_ms": self.mean_ms,
             f"{prefix}p50_ms": self.p50_ms,
@@ -79,6 +87,12 @@ class ServingReport:
     registry_stats: RegistryStats = field(default_factory=RegistryStats)
     #: Per-worker accounting rows from the pool.
     worker_summary: list[dict[str, object]] = field(default_factory=list)
+    #: Per-device-group rows (device, workers, batches, samples, utilization,
+    #: plus a latency summary of the requests that group executed).  Empty for
+    #: reports built without pool group accounting.
+    device_summary: list[dict[str, object]] = field(default_factory=list)
+    #: Name of the routing policy that dispatched the batches ("" pre-fleet).
+    router: str = ""
     records: list[RequestRecord] = field(default_factory=list)
 
     @property
@@ -108,6 +122,19 @@ class ServingReport:
             f"{self.registry_stats.disk_hits} disk hits, "
             f"{self.registry_stats.memory_hits} memory hits",
         ]
+        if self.router:
+            lines.append(f"router    : {self.router}")
+        for row in self.device_summary:
+            latency = row.get("latency")
+            latency_text = (
+                f", p50 {latency.p50_ms:.3f} / p95 {latency.p95_ms:.3f} ms"
+                if isinstance(latency, LatencySummary) else ""
+            )
+            lines.append(
+                f"group {row['device']}×{row['workers']}: {row['batches']} batches, "
+                f"{row['samples']} samples, {row['utilization']:.1%} busy"
+                + latency_text
+            )
         for row in self.worker_summary:
             lines.append(
                 f"worker {row['worker']} ({row['device']}): {row['batches']} batches, "
@@ -122,14 +149,46 @@ def build_report(
     batch_size_counts: dict[int, int],
     registry_stats: RegistryStats,
     worker_summary: list[dict[str, object]],
+    group_summary: list[dict[str, object]] | None = None,
+    router: str = "",
 ) -> ServingReport:
-    """Fold per-request records into a :class:`ServingReport`."""
+    """Fold per-request records into a :class:`ServingReport`.
+
+    Parameters
+    ----------
+    records:
+        One finished :class:`~repro.serve.request.RequestRecord` per request.
+    num_batches:
+        Device executions performed (a formed batch may chunk into several).
+    batch_size_counts:
+        Executions per specialised batch size.
+    registry_stats:
+        Registry counters to snapshot into the report.
+    worker_summary:
+        Per-worker rows from :meth:`~repro.serve.workers.WorkerPool.summary`.
+    group_summary:
+        Per-device-group rows from
+        :meth:`~repro.serve.workers.WorkerPool.group_summary`; each group is
+        enriched with the latency summary of the requests it executed.
+    router:
+        Name of the routing policy that dispatched the batches.
+    """
     if not records:
         raise ValueError("cannot build a serving report from zero records")
     first_arrival = min(record.request.arrival_ms for record in records)
     last_completion = max(record.completion_ms for record in records)
     makespan_ms = max(last_completion - first_arrival, 1e-9)
     num_samples = sum(record.request.num_samples for record in records)
+    device_summary: list[dict[str, object]] = []
+    for group in group_summary or []:
+        row = dict(group)
+        group_latencies = [
+            record.latency_ms for record in records if record.device == row["device"]
+        ]
+        row["requests"] = len(group_latencies)
+        if group_latencies:
+            row["latency"] = LatencySummary.from_values(group_latencies)
+        device_summary.append(row)
     return ServingReport(
         num_requests=len(records),
         num_samples=num_samples,
@@ -146,5 +205,7 @@ def build_report(
         # across runs, and the report promises a snapshot.
         registry_stats=replace(registry_stats),
         worker_summary=worker_summary,
+        device_summary=device_summary,
+        router=router,
         records=list(records),
     )

@@ -70,6 +70,7 @@ class RegistryKey:
     fingerprint: str = ""
 
     def filename(self) -> str:
+        """The on-disk artifact name: ``device__variant__bsN__fingerprint.json``."""
         stem = f"{self.device}__{self.variant}__bs{self.batch_size}"
         if self.fingerprint:
             stem += f"__{self.fingerprint}"
@@ -77,6 +78,7 @@ class RegistryKey:
 
     @classmethod
     def from_path(cls, model: str, path: Path) -> "RegistryKey":
+        """Parse a persisted :meth:`filename` back into a key (or raise)."""
         parts = path.stem.split("__")
         if len(parts) == 3:
             device, variant, batch = parts
@@ -111,9 +113,11 @@ class RegistryStats:
 
     @property
     def lookups(self) -> int:
+        """Total resolved lookups, however they were satisfied."""
         return self.memory_hits + self.disk_hits + self.searches
 
     def as_dict(self) -> dict[str, int]:
+        """All counters as one flat dict (reports, CSV rows)."""
         return {
             "lookups": self.lookups,
             "memory_hits": self.memory_hits,
@@ -183,12 +187,14 @@ class ScheduleRegistry:
 
     # ----------------------------------------------------------------- helpers
     def key(self, model: str, batch_size: int, device: DeviceSpec | str) -> RegistryKey:
+        """The full registry key (variant + served-graph fingerprint included)."""
         device_name = device if isinstance(device, str) else device.name
         return RegistryKey(model=model, batch_size=batch_size, device=device_name,
                            variant=self.variant,
                            fingerprint=self.fingerprint_for(model, batch_size))
 
     def path_for(self, key: RegistryKey) -> Path | None:
+        """Where ``key`` persists on disk (``None`` for in-memory registries)."""
         if self.root is None:
             return None
         return self.root / key.model / key.filename()
@@ -273,6 +279,7 @@ class ScheduleRegistry:
         self._persist(key, compiled)
 
     def contains(self, model: str, batch_size: int, device: DeviceSpec | str) -> bool:
+        """Whether a servable entry exists in memory or on disk (no compile)."""
         key = self.key(model, batch_size, device)
         if key in self._cache:
             return True

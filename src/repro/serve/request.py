@@ -48,14 +48,17 @@ class FormedBatch:
 
     @property
     def num_samples(self) -> int:
+        """Total samples across the batched requests."""
         return sum(request.num_samples for request in self.requests)
 
     @property
     def model(self) -> str:
+        """The model every request in the batch targets."""
         return self.requests[0].model
 
     @property
     def oldest_arrival_ms(self) -> float:
+        """Arrival time of the longest-waiting request in the batch."""
         return min(request.arrival_ms for request in self.requests)
 
     def __len__(self) -> int:
@@ -81,19 +84,26 @@ class RequestRecord:
     executed_batch_size: int
     #: Worker that executed the batch.
     worker_id: int
+    #: Device preset of the executing worker ("" for legacy records built
+    #: before pools were device-aware).
+    device: str = ""
 
     @property
     def latency_ms(self) -> float:
+        """End-to-end latency a client observes: arrival → completion."""
         return self.completion_ms - self.request.arrival_ms
 
     @property
     def queue_delay_ms(self) -> float:
+        """Time spent waiting (batching + worker queue): arrival → dispatch."""
         return self.dispatch_ms - self.request.arrival_ms
 
     @property
     def batching_delay_ms(self) -> float:
+        """Time spent waiting for the batch to form: arrival → batch close."""
         return self.batched_ms - self.request.arrival_ms
 
     @property
     def service_time_ms(self) -> float:
+        """Execution time of the batch on the device: dispatch → completion."""
         return self.completion_ms - self.dispatch_ms

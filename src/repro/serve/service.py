@@ -1,4 +1,4 @@
-"""The inference service: batcher → registry → worker pool.
+"""The inference service: batcher → router → registry → worker pool.
 
 :class:`InferenceService` is the composition root of the serving subsystem.
 One call to :meth:`InferenceService.run` replays a request stream through the
@@ -6,32 +6,37 @@ full pipeline on the virtual clock:
 
 1. the :class:`~repro.serve.batcher.DynamicBatcher` groups arrivals under the
    max-batch/max-wait policy;
-2. each formed batch picks the earliest-available worker, then the
-   :class:`~repro.serve.batcher.BatchSizeSelector` picks the best
-   batch-size-specialised :class:`~repro.engine.CompiledModel` for that
+2. the :class:`~repro.serve.fleet.Router` picks the worker each formed batch
+   executes on — by default :class:`~repro.serve.fleet.EarliestFinishRouter`,
+   which ranks workers by queueing delay *plus* the device's predicted
+   execution latency, so mixed-device fleets route device-aware;
+3. the :class:`~repro.serve.batcher.BatchSizeSelector` picks the best
+   batch-size-specialised :class:`~repro.engine.CompiledModel` for the chosen
    worker's device from the :class:`~repro.serve.registry.ScheduleRegistry`
    (compiling through :class:`repro.engine.Engine` on a cold miss, loading
    the persisted artifact — zero scheduler searches — on a warm one);
-3. the :class:`~repro.serve.workers.WorkerPool` executes the compiled model's
+4. the :class:`~repro.serve.workers.WorkerPool` executes the compiled model's
    execution plan on the simulated device and the per-request timeline is
    recorded.
 
-The result is a :class:`~repro.serve.metrics.ServingReport`.
+The result is a :class:`~repro.serve.metrics.ServingReport`, including
+per-device-group utilisation and latency when the fleet is heterogeneous.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..core.dp_scheduler import normalize_variant
-from ..hardware.device import get_device
+from ..hardware.device import get_devices
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from .batcher import BatchPolicy, BatchSizeSelector, DynamicBatcher
+from .fleet import FleetSpec, Router, get_router
 from .metrics import ServingReport, build_report
 from .registry import ScheduleRegistry
 from .request import FormedBatch, InferenceRequest, RequestRecord
-from .workers import WorkerPool
+from .workers import Worker, WorkerPool
 
 __all__ = ["ServingConfig", "InferenceService"]
 
@@ -42,12 +47,29 @@ DEFAULT_BATCH_SIZES = (1, 2, 4, 8, 16)
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """Configuration of one inference service instance."""
+    """Configuration of one inference service instance.
+
+    The worker pool may be declared either way:
+
+    * ``devices`` — one worker per entry (repeat a name for replicas, mix
+      names for a heterogeneous pool), the original spelling;
+    * ``fleet`` — a :class:`~repro.serve.fleet.FleetSpec`, a
+      ``"k80:2,v100:4"`` string, or a ``{device: count}`` mapping.  When
+      given, it takes precedence and ``devices`` is rewritten to the fleet's
+      expanded worker list, so downstream code sees one consistent view.
+    """
 
     model: str = "inception_v3"
     #: One worker per entry; repeat a name for replicas, mix names for a
-    #: heterogeneous pool.
+    #: heterogeneous pool.  Overwritten by ``fleet`` when that is set.
     devices: tuple[str, ...] = ("v100",)
+    #: Optional fleet declaration (FleetSpec | "dev:count,..." | mapping).
+    fleet: "FleetSpec | str | None" = None
+    #: Routing policy dispatching formed batches to workers: any name in
+    #: :func:`repro.serve.fleet.list_routers`, or a pre-built
+    #: :class:`~repro.serve.fleet.Router` instance (used as-is — note that
+    #: services sharing one config then share its state).
+    router: "str | Router" = "earliest-finish"
     #: Batch-size ladder the registry specialises schedules for.
     batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES
     policy: BatchPolicy = BatchPolicy()
@@ -61,12 +83,23 @@ class ServingConfig:
     passes: bool = False
 
     def __post_init__(self) -> None:
+        # Normalise the fleet first: it is the authoritative pool declaration
+        # when present (frozen dataclass, hence object.__setattr__).
+        if self.fleet is not None:
+            fleet = FleetSpec.of(self.fleet)
+            object.__setattr__(self, "fleet", fleet)
+            object.__setattr__(self, "devices", fleet.device_names())
         if not self.devices:
             raise ValueError("serving needs at least one device")
         if not self.batch_sizes:
             raise ValueError("batch_sizes ladder must not be empty")
+        # Resolve router names eagerly so a typo fails at config time, not
+        # mid-run; the service builds the instance.  A Router instance is
+        # kept as-is (get_router passes it through).
+        if not isinstance(self.router, Router):
+            object.__setattr__(self, "router", get_router(self.router).name)
         # Canonicalise drifted variant spellings so the config, the registry
-        # key and the CLI can never disagree (frozen dataclass, hence setattr).
+        # key and the CLI can never disagree.
         object.__setattr__(self, "variant", normalize_variant(self.variant))
 
     @classmethod
@@ -77,13 +110,29 @@ class ServingConfig:
 
 
 class InferenceService:
-    """End-to-end serving loop over the simulated runtime."""
+    """End-to-end serving loop over the simulated runtime.
+
+    Parameters
+    ----------
+    config:
+        The service declaration (model, fleet/devices, ladder, policy, ...).
+    registry:
+        Share a :class:`~repro.serve.registry.ScheduleRegistry` across
+        services (a long-lived deployment); defaults to a fresh one rooted at
+        ``config.registry_root``.
+    profile:
+        Kernel-library profile used by the pool's executors and on compiles.
+    router:
+        Inject a pre-built :class:`~repro.serve.fleet.Router` instance
+        (custom policies, tests); defaults to ``config.router`` by name.
+    """
 
     def __init__(
         self,
         config: ServingConfig,
         registry: ScheduleRegistry | None = None,
         profile: KernelProfile = CUDNN_PROFILE,
+        router: Router | None = None,
     ):
         self.config = config
         self.profile = profile
@@ -91,9 +140,8 @@ class InferenceService:
             root=config.registry_root, profile=profile, variant=config.variant,
             passes=config.passes,
         )
-        self.pool = WorkerPool(
-            [get_device(name) for name in config.devices], profile=profile
-        )
+        self.pool = WorkerPool(get_devices(config.devices), profile=profile)
+        self.router = router if router is not None else get_router(config.router)
         self.batcher = DynamicBatcher(config.policy)
         self.selector = BatchSizeSelector(
             self.registry, config.batch_sizes, profile=profile,
@@ -102,13 +150,16 @@ class InferenceService:
 
     # ------------------------------------------------------------------ warmup
     def warmup(self) -> None:
-        """Resolve every (ladder rung × device) schedule before taking traffic.
+        """Resolve every (ladder rung × device type) schedule before traffic.
 
-        On a cold registry this performs the scheduler searches up front; on a
-        warm one it is pure JSON loading.  Serving without warmup is also
-        fine — misses are compiled lazily on the request path.
+        One :class:`~repro.engine.CompiledModel` per ladder rung per *device
+        type* — replicas share their group's artifacts, so a ``k80:2,v100:4``
+        fleet warms two compile fan-outs, not six.  On a cold registry this
+        performs the scheduler searches up front; on a warm one it is pure
+        artifact loading.  Serving without warmup is also fine — misses are
+        compiled lazily on the first dispatch that needs them.
         """
-        for device in self.pool.devices:
+        for device in self.pool.device_types:
             self.registry.warmup(self.config.model, self.config.batch_sizes, device)
 
     # --------------------------------------------------------------------- run
@@ -144,6 +195,8 @@ class InferenceService:
             batch_size_counts=batch_size_counts,
             registry_stats=self.registry.stats,
             worker_summary=self.pool.summary(),
+            group_summary=self.pool.group_summary(),
+            router=self.router.name,
         )
 
     # ----------------------------------------------------------------- helpers
@@ -169,6 +222,21 @@ class InferenceService:
             chunks.append(current)
         return chunks
 
+    def _estimate_for(self, num_samples: int) -> Callable[[Worker], float]:
+        """Lazy per-worker latency estimate the router ranks candidates with.
+
+        Resolves to the predicted execution latency of an ``num_samples``
+        batch on the worker's device.  Estimating a device type with no
+        registry entry yet triggers its cold compile — the same fan-out a
+        dispatch would cause, just moved to routing time.
+        """
+        def estimate(worker: Worker) -> float:
+            return self.selector.predicted_latency(
+                self.config.model, num_samples, worker.device
+            )
+
+        return estimate
+
     def _execute_chunk(
         self,
         batch: FormedBatch,
@@ -177,7 +245,9 @@ class InferenceService:
         batch_size_counts: dict[int, int],
     ) -> None:
         num_samples = sum(request.num_samples for request in chunk)
-        worker = self.pool.next_worker(batch.formed_ms)
+        worker = self.router.pick(
+            self.pool.workers, batch.formed_ms, self._estimate_for(num_samples)
+        )
         rung = self.selector.select(self.config.model, num_samples, worker.device)
         compiled = self.registry.get_compiled(self.config.model, rung, worker.device)
         dispatch = self.pool.dispatch(
@@ -194,5 +264,6 @@ class InferenceService:
                     completion_ms=dispatch.end_ms,
                     executed_batch_size=rung,
                     worker_id=dispatch.worker_id,
+                    device=dispatch.device,
                 )
             )

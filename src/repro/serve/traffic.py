@@ -135,6 +135,7 @@ class TrafficGenerator:
         self.config = config
 
     def generate(self) -> list[InferenceRequest]:
+        """The full request list (sorted by arrival) for this config's seed."""
         config = self.config
         rng = random.Random(config.seed)
         if config.pattern == "poisson":

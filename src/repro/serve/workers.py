@@ -1,15 +1,23 @@
-"""Worker pool: dispatching lowered plans across simulated devices.
+"""Worker pool: executing compiled plans across simulated devices.
 
 Each worker wraps one simulated :class:`~repro.hardware.device.DeviceSpec`
 with an :class:`~repro.runtime.executor.Executor` and a ``busy_until_ms``
-horizon on the shared virtual clock.  Dispatch picks the worker that can
-*start* the batch earliest (ties broken by id, so a homogeneous pool is
-deterministic), executes the plan on the simulated device, and returns the
-batch timeline.
+horizon on the shared virtual clock.  Workers carry their *own* device
+identity, so a pool may freely mix device types (see
+:class:`~repro.serve.fleet.FleetSpec`); plan and latency caches are keyed by
+the worker's device, never by a pool-wide one.
 
-Plans are lowered once per ``(model, batch size, device)`` and memoised —
-in steady state a dispatch is one simulated execution, no lowering and no
-scheduling.
+*Which* worker a batch goes to is the router's decision
+(:mod:`repro.serve.fleet`) — the pool only executes: :meth:`WorkerPool.dispatch`
+runs an execution plan on the chosen worker, advances its horizon, and
+returns the batch timeline.  :meth:`WorkerPool.next_worker` remains as the
+legacy earliest-start rule that homogeneous pools used before routing became
+pluggable.
+
+Execution plans come from :class:`~repro.engine.CompiledModel` artifacts via
+the schedule registry; the pool memoises them per
+``(model, batch size, device, origin)`` so a steady-state dispatch is one
+simulated execution — no lowering, no scheduling.
 """
 
 from __future__ import annotations
@@ -24,7 +32,20 @@ from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.graph import Graph
 from ..runtime.executor import ExecutionPlan, Executor
 
-__all__ = ["Worker", "DispatchResult", "WorkerPool"]
+__all__ = ["Worker", "DispatchResult", "WorkerPool", "earliest_start_worker"]
+
+
+def earliest_start_worker(workers: Sequence["Worker"], ready_ms: float) -> "Worker":
+    """The worker that can *start* a batch ready at ``ready_ms`` first.
+
+    Ties break by worker id for determinism.  This is the single home of the
+    earliest-start tiebreak: :meth:`WorkerPool.next_worker` and the
+    ``earliest-start`` router both delegate here.
+    """
+    return min(
+        workers,
+        key=lambda worker: (max(worker.busy_until_ms, ready_ms), worker.worker_id),
+    )
 
 
 @dataclass
@@ -63,6 +84,7 @@ class DispatchResult:
 
     @property
     def wait_for_worker_ms(self) -> float:
+        """How long the batch sat ready before its worker could start it."""
         return self.start_ms - self.ready_ms
 
 
@@ -98,20 +120,29 @@ class WorkerPool:
 
     @property
     def devices(self) -> list[DeviceSpec]:
+        """One :class:`DeviceSpec` per worker, in worker-id order."""
         return [worker.device for worker in self.workers]
+
+    @property
+    def device_types(self) -> list[DeviceSpec]:
+        """The distinct device specs in the pool, in first-worker order.
+
+        A homogeneous pool has exactly one entry; warmup and per-device
+        compile fan-out iterate this instead of every replica.
+        """
+        seen: dict[str, DeviceSpec] = {}
+        for worker in self.workers:
+            seen.setdefault(worker.device.name, worker.device)
+        return list(seen.values())
 
     # ---------------------------------------------------------------- dispatch
     def next_worker(self, ready_ms: float) -> Worker:
-        """The worker a batch ready at ``ready_ms`` should go to.
+        """The earliest-start worker for a batch ready at ``ready_ms``.
 
-        Workers are compared by earliest possible *start* (ties broken by id
-        for determinism); heterogeneous completion time is handled by the
-        caller choosing the schedule for the chosen worker's device.
+        The legacy homogeneous dispatch rule, kept for direct pool users;
+        the service routes through :mod:`repro.serve.fleet` instead.
         """
-        return min(
-            self.workers,
-            key=lambda worker: (max(worker.busy_until_ms, ready_ms), worker.worker_id),
-        )
+        return earliest_start_worker(self.workers, ready_ms)
 
     def plan_latency_ms(self, graph: Graph, schedule: Schedule, worker: Worker,
                         plan: ExecutionPlan | None = None) -> float:
@@ -201,3 +232,29 @@ class WorkerPool:
             }
             for worker in self.workers
         ]
+
+    def group_summary(self) -> list[dict[str, object]]:
+        """Per-device-group accounting rows (one row per device type).
+
+        ``utilization`` is the group's busy time divided by the group's total
+        available time (``workers × makespan``), so a group of idle replicas
+        dilutes its own utilisation, not another group's.
+        """
+        makespan = self.makespan_ms()
+        groups: dict[str, dict[str, object]] = {}
+        for worker in self.workers:
+            row = groups.setdefault(
+                worker.device.name,
+                {"device": worker.device.name, "workers": 0, "batches": 0,
+                 "samples": 0, "busy_ms": 0.0},
+            )
+            row["workers"] += 1
+            row["batches"] += worker.batches_executed
+            row["samples"] += worker.samples_executed
+            row["busy_ms"] += worker.busy_ms
+        for row in groups.values():
+            available = row["workers"] * makespan
+            row["utilization"] = (
+                min(1.0, row["busy_ms"] / available) if available > 0 else 0.0
+            )
+        return list(groups.values())

@@ -125,6 +125,47 @@ class TestServeCLI:
         out = capsys.readouterr().out
         assert "registry  : 0 searches" in out
 
+    def test_serve_fleet_reports_per_device_groups(self, capsys):
+        assert main([
+            "serve", "--model", "squeezenet", "--requests", "60", "--rate", "2500",
+            "--batch-sizes", "1,2,4", "--fleet", "k80:1,v100:1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "router    : earliest-finish" in out
+        assert "group k80×1:" in out and "group v100×1:" in out
+
+    def test_serve_fleet_compare_prints_homogeneous_baselines(self, capsys, tmp_path):
+        assert main([
+            "serve", "--compare", "--model", "squeezenet", "--requests", "60",
+            "--rate", "3000", "--batch-sizes", "1,2,4",
+            "--fleet", "k80:1,v100:1", "--pattern", "poisson",
+            "--csv-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        # The mixed fleet plus one equally-sized homogeneous fleet per type.
+        assert "k80:1,v100:1" in out and "k80:2" in out and "v100:2" in out
+        assert "k80:1@" in out  # per-device-group utilisation cell
+        assert (tmp_path / "fleet_comparison.csv").exists()
+
+    def test_serve_fleet_router_flag(self, capsys):
+        assert main([
+            "serve", "--model", "squeezenet", "--requests", "40", "--rate", "2000",
+            "--batch-sizes", "1,2", "--fleet", "v100:2", "--router", "round-robin",
+        ]) == 0
+        assert "router    : round-robin" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", [
+        ["--fleet", "k80:1", "--device", "v100"],
+        ["--fleet", "k80:1", "--num-workers", "2"],
+        ["--fleet", "tpu:4"],
+        ["--fleet", "k80:0"],
+        ["--fleet", "k80:"],
+        ["--router", "fastest"],
+    ])
+    def test_serve_fleet_rejects_bad_arguments(self, bad):
+        with pytest.raises(SystemExit):
+            main(["serve"] + bad)
+
     def test_serve_compare_forwards_pattern(self, capsys):
         assert main([
             "serve", "--compare", "--model", "squeezenet", "--requests", "40",

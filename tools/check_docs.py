@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Keep the docs honest: execute their snippets, check their links.
+
+Two checks over ``README.md`` and ``docs/*.md``:
+
+1. **Snippets** — every fenced ``python`` code block is extracted and
+   executed (all blocks of one file share a namespace, in file order, so a
+   later block may use an earlier block's imports).  A block preceded by an
+   HTML comment line ``<!-- docs: no-run -->`` is skipped; non-Python fences
+   (``bash``, ``text``, …) are never executed.
+2. **Links** — every relative Markdown link target must exist in the repo
+   (anchors are stripped; external ``http(s)://`` / ``mailto:`` links are not
+   fetched).
+
+Run from the repo root (CI's docs job does)::
+
+    PYTHONPATH=src python tools/check_docs.py            # both checks
+    PYTHONPATH=src python tools/check_docs.py --links-only
+    PYTHONPATH=src python tools/check_docs.py --compile-only   # syntax, no execution
+
+Exit status 0 when everything passes, 1 otherwise, with one line per failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fenced code block: ```lang ... ``` (tilde fences are not used in this repo).
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+#: Inline/reference Markdown links: [text](target).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Put this HTML comment on the line before a fence to skip executing it.
+SKIP_MARKER = "<!-- docs: no-run -->"
+
+
+def _relative(path: Path) -> str:
+    """Repo-relative display form of ``path`` (absolute when outside it)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+@dataclass
+class Snippet:
+    """One fenced code block of a Markdown file."""
+
+    path: Path
+    lang: str
+    code: str
+    lineno: int  # 1-based line of the opening fence
+    skip: bool
+
+    @property
+    def label(self) -> str:
+        return f"{_relative(self.path)}:{self.lineno}"
+
+
+def doc_files() -> list[Path]:
+    """The Markdown files under check: README.md plus every docs/*.md."""
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """All fenced code blocks of ``path``, with language and skip marker."""
+    snippets: list[Snippet] = []
+    lines = path.read_text().splitlines()
+    in_fence = False
+    lang, start, buffer, skip = "", 0, [], False
+    previous_nonblank = ""
+    for index, line in enumerate(lines, start=1):
+        fence = FENCE_RE.match(line)
+        if not in_fence and fence:
+            in_fence = True
+            lang = fence.group(1).lower()
+            start = index
+            buffer = []
+            skip = previous_nonblank.strip() == SKIP_MARKER
+        elif in_fence and line.strip() == "```":
+            in_fence = False
+            snippets.append(
+                Snippet(path=path, lang=lang, code="\n".join(buffer) + "\n",
+                        lineno=start, skip=skip)
+            )
+        elif in_fence:
+            buffer.append(line)
+        if not in_fence and line.strip():
+            previous_nonblank = line
+    if in_fence:
+        raise ValueError(f"{path}: unterminated code fence opened at line {start}")
+    return snippets
+
+
+def python_snippets(path: Path) -> list[Snippet]:
+    return [s for s in extract_snippets(path) if s.lang == "python"]
+
+
+# ---------------------------------------------------------------- snippet run
+def check_snippets(paths: list[Path], compile_only: bool = False) -> list[str]:
+    """Compile (and by default execute) every Python snippet; return failures.
+
+    Execution shares one namespace per file so snippets can build on each
+    other, mirroring how a reader would paste them into one session.
+    """
+    failures: list[str] = []
+    for path in paths:
+        namespace: dict[str, object] = {"__name__": f"docs_snippet_{path.stem}"}
+        for snippet in python_snippets(path):
+            try:
+                code = compile(snippet.code, snippet.label, "exec")
+            except SyntaxError as error:
+                failures.append(f"{snippet.label}: syntax error: {error}")
+                continue
+            if compile_only or snippet.skip:
+                continue
+            try:
+                exec(code, namespace)  # noqa: S102 - executing our own docs
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(
+                    f"{snippet.label}: {type(error).__name__}: {error}"
+                )
+                break  # later blocks of this file may depend on this one
+    return failures
+
+
+# ------------------------------------------------------------------ link check
+def check_links(paths: list[Path]) -> list[str]:
+    """Every relative link target must exist; return one line per dead link."""
+    failures: list[str] = []
+    for path in paths:
+        in_fence = False
+        for index, line in enumerate(path.read_text().splitlines(), start=1):
+            if FENCE_RE.match(line) or line.strip() == "```":
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue  # code blocks may contain bracketed indexing, not links
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (path.parent / relative).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{_relative(path)}:{index}: dead link {target!r}"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links-only", action="store_true",
+                        help="skip snippet execution, check links only")
+    parser.add_argument("--compile-only", action="store_true",
+                        help="syntax-check snippets without executing them")
+    args = parser.parse_args(argv)
+
+    paths = [path for path in doc_files() if path.exists()]
+    if len(paths) < 2:
+        print("error: no docs found (expected README.md and docs/*.md)",
+              file=sys.stderr)
+        return 1
+
+    failures = check_links(paths)
+    if not args.links_only:
+        failures += check_snippets(paths, compile_only=args.compile_only)
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    checked = ", ".join(_relative(p) for p in paths)
+    if failures:
+        print(f"{len(failures)} docs check failure(s) over {checked}", file=sys.stderr)
+        return 1
+    print(f"docs OK: links and snippets pass over {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
