@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 1 (schedule-space statistics of the largest block)."""
 
-from conftest import full_run, run_once
+from conftest import run_once
 
 from repro.experiments import run_table1
 

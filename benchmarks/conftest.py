@@ -15,6 +15,11 @@ Environment variables
     searches (RandWire / NasNet-A take tens of minutes of DP search each) so
     that the whole suite finishes in a few minutes while preserving every
     qualitative conclusion; EXPERIMENTS.md records a full run.
+``REPRO_BENCH_FAST=1``
+    The opposite direction: a smoke mode for CI.  Heavy experiments run on
+    SqueezeNet only, so the whole suite stays well under five minutes while
+    every benchmark file is still imported, executed and asserted on.
+    ``IOS_BENCH_FULL`` wins when both are set.
 ``IOS_BENCH_DEVICE``
     Device preset to use (default ``v100``).
 """
@@ -27,19 +32,32 @@ import pytest
 
 #: Networks used by the heavy experiments in quick mode.
 QUICK_MODELS = ["inception_v3", "squeezenet"]
+#: The single fastest network — what CI's smoke mode runs on.
+FAST_MODELS = ["squeezenet"]
 #: The paper's full benchmark suite.
 FULL_MODELS = ["inception_v3", "randwire", "nasnet_a", "squeezenet"]
 
+_FALSY = ("", "0", "false", "no")
+
 
 def full_run() -> bool:
-    return os.environ.get("IOS_BENCH_FULL", "0") not in ("", "0", "false", "no")
+    return os.environ.get("IOS_BENCH_FULL", "0") not in _FALSY
+
+
+def fast_run() -> bool:
+    """Whether the CI smoke mode is on (and not overridden by a full run)."""
+    return (
+        os.environ.get("REPRO_BENCH_FAST", "0") not in _FALSY and not full_run()
+    )
 
 
 def bench_models() -> list[str]:
     override = os.environ.get("IOS_BENCH_MODELS")
     if override:
         return [name.strip() for name in override.split(",") if name.strip()]
-    return FULL_MODELS if full_run() else QUICK_MODELS
+    if full_run():
+        return FULL_MODELS
+    return FAST_MODELS if fast_run() else QUICK_MODELS
 
 
 def bench_device() -> str:

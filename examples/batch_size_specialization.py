@@ -18,7 +18,7 @@ Run with::
 from __future__ import annotations
 
 from repro import build_model, get_device
-from repro.core import schedule_latency_ms, specialize_for_batch_sizes
+from repro.core import specialize_for_batch_sizes
 from repro.experiments import run_figure11
 
 

@@ -16,7 +16,7 @@ stage is priced many times during a search.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..hardware.device import DeviceSpec

@@ -39,7 +39,7 @@ from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
 from .compiled import CompiledModel, CompileStats, StageTiming
-from .stages import apply_passes, graph_identity, node_digest
+from .stages import apply_passes, graph_identity
 
 __all__ = ["Engine", "EngineStats", "get_engine", "get_engines", "clear_engine_pool"]
 

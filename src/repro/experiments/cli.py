@@ -17,6 +17,8 @@ figures reuse the cache.  Examples::
     ios-bench serve --compare --registry-dir schedules/ --csv-dir results/
     ios-bench serve --fleet k80:2,v100:4 --router earliest-finish
     ios-bench serve --fleet k80:2,v100:4 --compare   # fleet-comparison table
+    ios-bench serve --slo 20 --admission deadline --autoscale 1:3
+    ios-bench serve --slo 20 --compare               # admission-policy table
 """
 
 from __future__ import annotations
@@ -113,14 +115,17 @@ def serve_main(argv: list[str] | None = None) -> int:
     # Imported lazily: repro.serve pulls in the whole serving stack, which the
     # figure/table experiments never need.
     from ..serve import (
+        AutoscaleConfig,
         BatchPolicy,
         FleetSpec,
         ServingConfig,
         TrafficConfig,
+        list_admission_policies,
         list_routers,
         run_fleet_comparison,
         run_serving,
         run_serving_comparison,
+        run_slo_comparison,
     )
 
     parser = argparse.ArgumentParser(
@@ -168,6 +173,17 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--passes", action=argparse.BooleanOptionalAction, default=False,
                         help="run the repro.passes rewrite pipeline on served graphs "
                         "(schedule keys fingerprint the rewritten graph)")
+    parser.add_argument("--slo", type=float, default=None, metavar="MS",
+                        help="latency budget attached to every generated request "
+                        "(enables SLO accounting; with --compare, runs the "
+                        "admission-policy comparison table)")
+    parser.add_argument("--admission", default="admit-all",
+                        choices=list_admission_policies(),
+                        help="admission policy gating arrivals "
+                        "(default: admit-all, the no-shedding baseline)")
+    parser.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                        help="elastic worker-pool bounds, e.g. '1:4'; the pool "
+                        "starts at its declared size and scales within the bounds")
     parser.add_argument("--seed", type=int, default=0, help="traffic seed")
     parser.add_argument("--no-batching", action="store_true",
                         help="serve every request by itself (baseline)")
@@ -207,6 +223,20 @@ def serve_main(argv: list[str] | None = None) -> int:
         print("note: --no-batching serves every request immediately; "
               "ignoring --max-wait-ms", file=sys.stderr)
     max_wait_ms = 5.0 if args.max_wait_ms is None else args.max_wait_ms
+    if args.slo is not None and args.slo < 0:
+        parser.error(f"--slo must be non-negative, got {args.slo}")
+    autoscale = None
+    if args.autoscale is not None:
+        try:
+            autoscale = AutoscaleConfig.parse(args.autoscale)
+        except ValueError as error:
+            parser.error(f"bad --autoscale spec: {error}")
+        pool_size = fleet.num_workers if fleet is not None else num_workers
+        if not autoscale.min_workers <= pool_size <= autoscale.max_workers:
+            parser.error(
+                f"the pool starts at {pool_size} workers, outside the "
+                f"--autoscale bounds {args.autoscale}"
+            )
     try:
         batch_sizes = tuple(int(part) for part in args.batch_sizes.split(",") if part.strip())
     except ValueError:
@@ -222,6 +252,35 @@ def serve_main(argv: list[str] | None = None) -> int:
         if args.no_batching:
             parser.error("--no-batching conflicts with --compare "
                          "(the comparison already includes the unbatched baseline)")
+        if args.slo is None and (args.admission != "admit-all" or autoscale is not None):
+            print("note: the dynamic-vs-unbatched and fleet comparisons run "
+                  "admit-all on fixed pools; ignoring --admission/--autoscale "
+                  "(add --slo for the admission-policy comparison)",
+                  file=sys.stderr)
+        if args.slo is not None:
+            # Admission-policy comparison: the same deadline-carrying workload
+            # through every policy, admit-all as the baseline.
+            if fleet is not None:
+                parser.error("--slo --compare runs on a homogeneous pool; "
+                             "drop --fleet")
+            admissions = (
+                ("admit-all", args.admission)
+                if args.admission != "admit-all" else ("admit-all", "deadline")
+            )
+            table = run_slo_comparison(
+                model=args.model, device=device, num_workers=num_workers,
+                slo_ms=args.slo, admissions=admissions, autoscale=autoscale,
+                router=args.router,
+                num_requests=args.requests, rate_rps=args.rate,
+                batch_sizes=batch_sizes, max_wait_ms=max_wait_ms,
+                pattern=args.pattern or "bursty",
+                burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
+                variant=args.variant, registry_root=args.registry_dir,
+                seed=args.seed, passes=args.passes,
+            )
+            print(table.to_text())
+            _write_csv(table, args.csv_dir)
+            return 0
         if fleet is not None:
             # Fleet comparison: the mixed fleet vs equally-sized homogeneous
             # fleets of each member device type.
@@ -252,7 +311,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         model=args.model, pattern=args.pattern or "poisson",
         num_requests=args.requests, rate_rps=args.rate,
         burst_size=args.burst_size, burst_gap_ms=args.burst_gap_ms,
-        seed=args.seed,
+        slo_ms=args.slo, seed=args.seed,
     )
     try:
         capped = traffic.capped_to(max(batch_sizes))
@@ -275,7 +334,8 @@ def serve_main(argv: list[str] | None = None) -> int:
         serving = ServingConfig.unbatched(
             model=args.model, batch_sizes=batch_sizes, variant=args.variant,
             registry_root=args.registry_dir, passes=args.passes,
-            router=args.router, **pool,
+            router=args.router, admission=args.admission, autoscale=autoscale,
+            **pool,
         )
     else:
         serving = ServingConfig(
@@ -283,7 +343,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             policy=BatchPolicy(max_batch_size=max(batch_sizes),
                                max_wait_ms=max_wait_ms),
             variant=args.variant, registry_root=args.registry_dir,
-            passes=args.passes, router=args.router, **pool,
+            passes=args.passes, router=args.router, admission=args.admission,
+            autoscale=autoscale, **pool,
         )
     report = run_serving(traffic, serving)
     print(report.describe())

@@ -9,7 +9,7 @@ end-to-end latency.  Sequential achieves ~48 % average utilisation, greedy
 from __future__ import annotations
 
 from ..core.lowering import measure_schedule
-from ..hardware.device import DeviceSpec, get_device
+from ..hardware.device import DeviceSpec
 from ..models import figure2_block
 from .runner import ExperimentContext, default_context
 from .tables import ExperimentTable

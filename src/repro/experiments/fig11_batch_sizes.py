@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..core.lowering import measure_schedule
 from ..frameworks import get_framework
 from ..hardware.device import DeviceSpec
 from .runner import ExperimentContext, default_context

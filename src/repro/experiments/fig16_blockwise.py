@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..core.cost_model import SimulatedCostModel
 from ..core.dp_scheduler import IOSScheduler, SchedulerConfig
-from ..core.schedule import ParallelizationStrategy, Schedule, Stage
+from ..core.schedule import ParallelizationStrategy, Stage
 from ..hardware.device import DeviceSpec
 from ..models import INCEPTION_BLOCK_NAMES
 from ..runtime.executor import ExecutionPlan, Executor

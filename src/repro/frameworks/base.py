@@ -25,7 +25,6 @@ parallelism, which is precisely the gap IOS fills.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from ..hardware.device import DeviceSpec
 from ..hardware.kernel import KernelProfile

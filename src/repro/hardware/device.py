@@ -59,7 +59,10 @@ class DeviceSpec:
         if self.peak_fp32_tflops <= 0:
             raise ValueError(f"peak_fp32_tflops must be positive, got {self.peak_fp32_tflops}")
         if self.memory_bandwidth_gb_s <= 0:
-            raise ValueError(f"memory_bandwidth_gb_s must be positive")
+            raise ValueError(
+                f"memory_bandwidth_gb_s must be positive, got "
+                f"{self.memory_bandwidth_gb_s}"
+            )
         if self.blocks_per_sm <= 0:
             raise ValueError(f"blocks_per_sm must be positive, got {self.blocks_per_sm}")
         if self.contention_alpha < 0:

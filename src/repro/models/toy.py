@@ -59,8 +59,8 @@ def figure3_graph(batch_size: int = 1, channels: int = 128, spatial: int = 14) -
         a = builder.conv2d("conv_a", x, out_channels=channels, kernel=3)
         b = builder.conv2d("conv_b", x, out_channels=2 * channels, kernel=3)
         c = builder.conv2d("conv_c", a, out_channels=channels, kernel=3)
-        d = builder.conv2d("conv_d", c, out_channels=channels, kernel=3)
-        e = builder.matmul("matmul_e", b, out_features=256)
+        builder.conv2d("conv_d", c, out_channels=channels, kernel=3)
+        builder.matmul("matmul_e", b, out_features=256)
     return builder.build()
 
 

@@ -16,7 +16,7 @@ its :class:`~repro.core.schedule.Schedule` objects into plans, but baselines
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..hardware.contention import TimelineSegment
 from ..hardware.device import DeviceSpec

@@ -50,6 +50,16 @@ class BatchPolicy:
         if self.max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be non-negative, got {self.max_wait_ms}")
 
+    def close_deadline_ms(self, first_arrival_ms: float) -> float:
+        """When a batch opened at ``first_arrival_ms`` must be flushed.
+
+        The single home of the max-wait rule: the offline
+        :class:`DynamicBatcher` and the online
+        :class:`~repro.serve.loop.ServingLoop` both stamp batch-close
+        deadlines with it, so the two execution models can never drift.
+        """
+        return first_arrival_ms + self.max_wait_ms
+
 
 class DynamicBatcher:
     """Groups a time-ordered request stream into batches under a policy."""
@@ -98,7 +108,7 @@ class DynamicBatcher:
                 yield close(request.arrival_ms, "full")
 
             if not pending:
-                deadline = request.arrival_ms + policy.max_wait_ms
+                deadline = policy.close_deadline_ms(request.arrival_ms)
             pending.append(request)
             pending_samples += request.num_samples
 

@@ -7,13 +7,16 @@ land in the same :class:`~repro.experiments.tables.ExperimentTable` container
 as every paper figure, so serving runs are printable, CSV-exportable and
 benchmarkable with the existing machinery.
 
-Two comparisons are provided:
+Three comparisons are provided:
 
 * :func:`run_serving_comparison` — dynamic batching vs. the no-batching
   baseline on a homogeneous pool (the PR-1 study);
 * :func:`run_fleet_comparison` — a mixed-device fleet vs. equally-sized
   homogeneous fleets of each member device type, under Poisson and bursty
-  traffic: the heterogeneity study.
+  traffic: the heterogeneity study;
+* :func:`run_slo_comparison` — admission policies head-to-head under a
+  deadline-carrying bursty overload, with an optional elastic pool: the
+  SLO study (deadline-aware shedding must beat admit-all on attainment).
 """
 
 from __future__ import annotations
@@ -26,7 +29,12 @@ from .registry import ScheduleRegistry
 from .service import InferenceService, ServingConfig
 from .traffic import TrafficConfig, TrafficGenerator
 
-__all__ = ["run_serving", "run_serving_comparison", "run_fleet_comparison"]
+__all__ = [
+    "run_serving",
+    "run_serving_comparison",
+    "run_fleet_comparison",
+    "run_slo_comparison",
+]
 
 
 def run_serving(
@@ -121,6 +129,109 @@ def run_serving_comparison(
                 mean_queue_ms=report.queue_delay.mean_ms,
                 searches=registry.stats.searches,
             )
+    return table
+
+
+def run_slo_comparison(
+    model: str = "squeezenet",
+    device: str = "k80",
+    num_workers: int = 1,
+    slo_ms: float = 20.0,
+    admissions: tuple[str, ...] = ("admit-all", "deadline"),
+    autoscale: "str | object | None" = None,
+    router: str = "earliest-finish",
+    num_requests: int = 320,
+    burst_size: int = 64,
+    burst_gap_ms: float = 30.0,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8),
+    max_wait_ms: float = 2.0,
+    pattern: str = "bursty",
+    rate_rps: float = 2000.0,
+    variant: str = "ios-both",
+    registry_root: str | None = None,
+    seed: int = 0,
+    passes: bool = False,
+) -> ExperimentTable:
+    """Admission policies head-to-head on one deadline-carrying workload.
+
+    Every row serves the identical seeded workload — bursty overload by
+    default, each request carrying an ``slo_ms`` latency budget — through
+    the same pool shape, varying only the admission policy (and applying the
+    same ``autoscale`` bounds to every row, so the comparison isolates
+    admission).  One schedule registry is shared by all rows.
+
+    The headline columns: ``attainment`` (fraction of *offered* requests that
+    completed within their deadline — a rejected request never attains) and
+    the latency percentiles of the admitted requests.  Under overload,
+    deadline-aware shedding must beat admit-all on attainment *and* p99: the
+    benchmark suite asserts exactly that.
+
+    Parameters
+    ----------
+    model, batch_sizes, max_wait_ms, variant, registry_root, passes:
+        Service knobs, as in :func:`run_serving_comparison`.
+    device, num_workers:
+        The (homogeneous) pool every policy serves on.
+    slo_ms:
+        Latency budget attached to every generated request.
+    admissions:
+        Admission policies to measure; each gets one row.
+    autoscale:
+        Optional elastic bounds applied to every row: a ``"min:max"``
+        string, or a full :class:`~repro.serve.autoscale.AutoscaleConfig`
+        when the watermarks need tuning too.
+    router:
+        Routing policy every row dispatches with.
+    num_requests, pattern, rate_rps, burst_size, burst_gap_ms, seed:
+        Traffic shape, shared by every row.
+    """
+    table = ExperimentTable(
+        experiment_id="slo_comparison",
+        title=f"Serving {model} with a {slo_ms:.0f}ms SLO on "
+        f"{num_workers}×{device} ({pattern} overload): admission policies",
+        columns=[
+            "admission", "offered", "admitted", "rejected", "attainment",
+            "violations", "p50_ms", "p99_ms", "scale_events", "peak_workers",
+        ],
+        notes="every row serves the identical seeded deadline-carrying "
+        "workload; 'attainment' counts a rejected request as a miss, so "
+        "shedding only wins by letting admitted requests meet their SLO; "
+        "one schedule registry is shared across rows",
+    )
+
+    registry = ScheduleRegistry(root=registry_root, variant=variant, passes=passes)
+    traffic = TrafficConfig(
+        model=model, pattern=pattern, num_requests=num_requests,
+        rate_rps=rate_rps, burst_size=burst_size, burst_gap_ms=burst_gap_ms,
+        slo_ms=slo_ms, seed=seed,
+    ).capped_to(max(batch_sizes))
+    for admission in admissions:
+        serving = ServingConfig(
+            model=model, devices=(device,) * num_workers,
+            batch_sizes=batch_sizes,
+            policy=BatchPolicy(max_batch_size=max(batch_sizes),
+                               max_wait_ms=max_wait_ms),
+            admission=admission, autoscale=autoscale, router=router,
+            variant=variant, passes=passes,
+        )
+        report = run_serving(traffic, serving, registry=registry)
+        slo = report.slo_summary
+        peak_workers = max(
+            [num_workers]
+            + [event.num_workers for event in report.scale_events]
+        )
+        table.add_row(
+            admission=admission,
+            offered=slo.offered,
+            admitted=slo.admitted,
+            rejected=slo.rejected,
+            attainment=slo.attainment_rate,
+            violations=slo.violations,
+            p50_ms=report.latency.p50_ms,
+            p99_ms=report.latency.p99_ms,
+            scale_events=len(report.scale_events),
+            peak_workers=peak_workers,
+        )
     return table
 
 

@@ -61,9 +61,17 @@ class FleetSpec:
         canonicalised through :func:`repro.hardware.get_device` (aliases like
         ``"2080ti"`` resolve to their preset name); counts must be positive.
         Repeating a device name merges into one group.
+    min_workers, max_workers:
+        Optional elastic bounds.  When set, a service built on this fleet
+        autoscales between them (see :mod:`repro.serve.autoscale`): ``groups``
+        declares the *initial* pool, the bounds declare how far the
+        autoscaler may shrink or grow it.  ``None`` (the default) keeps the
+        pool fixed at its declared size.
     """
 
     groups: tuple[tuple[str, int], ...]
+    min_workers: int | None = None
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -78,6 +86,21 @@ class FleetSpec:
             canonical = get_device(name).name  # raises KeyError on unknown names
             merged[canonical] = merged.get(canonical, 0) + count
         object.__setattr__(self, "groups", tuple(merged.items()))
+        if (self.min_workers is None) != (self.max_workers is None):
+            raise ValueError(
+                "set min_workers and max_workers together (or neither)"
+            )
+        if self.min_workers is not None:
+            if self.min_workers <= 0:
+                raise ValueError(
+                    f"min_workers must be positive, got {self.min_workers}"
+                )
+            if not self.min_workers <= self.num_workers <= self.max_workers:
+                raise ValueError(
+                    f"declared fleet size {self.num_workers} must lie within "
+                    f"[min_workers={self.min_workers}, "
+                    f"max_workers={self.max_workers}]"
+                )
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -117,6 +140,12 @@ class FleetSpec:
         """A fleet of ``count`` identical workers (the pre-fleet pool shape)."""
         return cls(groups=((device, count),))
 
+    def bounded(self, min_workers: int, max_workers: int) -> "FleetSpec":
+        """A copy of this fleet with elastic ``[min, max]`` worker bounds."""
+        return FleetSpec(
+            groups=self.groups, min_workers=min_workers, max_workers=max_workers
+        )
+
     @classmethod
     def of(cls, spec: "FleetSpec | str | Mapping[str, int]") -> "FleetSpec":
         """Coerce any accepted fleet spelling into a :class:`FleetSpec`."""
@@ -151,6 +180,15 @@ class FleetSpec:
     def device_types(self) -> tuple[str, ...]:
         """The distinct device presets in the fleet, in group order."""
         return tuple(name for name, _ in self.groups)
+
+    def primary_device(self) -> str:
+        """The first declared device preset — what the autoscaler spawns."""
+        return self.groups[0][0]
+
+    @property
+    def is_elastic(self) -> bool:
+        """Whether this fleet declares autoscale bounds."""
+        return self.min_workers is not None
 
     def describe(self) -> str:
         """The canonical ``"k80:2,v100:4"`` spelling of this fleet."""

@@ -1,0 +1,404 @@
+"""The discrete-event serving loop: the execution model behind the service.
+
+:class:`ServingLoop` replays a request stream on the virtual clock as a
+classic discrete-event simulation.  One event heap orders everything that can
+happen to the service:
+
+* **arrivals** — a request enters; the admission policy decides whether it
+  may queue, then the max-batch/max-wait rules decide whether the forming
+  batch closes;
+* **batch-close timeouts** — the oldest queued request has waited
+  ``max_wait_ms``; the batch flushes even though it is not full;
+* **worker completions** — a dispatched batch finishes executing; the
+  in-flight accounting drops and the autoscaler gets a chance to react;
+* **scale checks** — every ``interval_ms`` the autoscaler compares the
+  pool's backlog against its watermarks and may add or retire a worker.
+
+Events at the same instant process deterministically: arrivals first (a
+request arriving exactly at a batch's close deadline still joins it — the
+same tie-break the offline :class:`~repro.serve.batcher.DynamicBatcher`
+applies), then completions, then timeouts, then scale checks; ties within a
+kind break by insertion order.  Given the same requests and config the loop
+is therefore a pure function — same report, down to the last timestamp.
+
+With the default admit-all policy and no autoscaler the loop reproduces the
+offline batcher's batches exactly; the loop exists so that *policies that
+react to time* — deadline-aware admission, priority preemption, elastic
+pools — have a place to act.
+
+Admission policies and the autoscaler observe the loop through
+:class:`LoopState`, a read-only view exposing the clock, queue depth, worker
+horizons, and the engine-backed latency estimates the device-aware router
+already uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from .admission import AdmissionPolicy, AdmitAll
+from .batcher import BatchPolicy
+from .request import FormedBatch, InferenceRequest, RejectedRequest, RequestRecord
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .autoscale import Autoscaler, ScaleEvent
+    from .batcher import BatchSizeSelector
+    from .fleet import Router
+    from .registry import ScheduleRegistry
+    from .workers import Worker, WorkerPool
+
+__all__ = ["LoopResult", "LoopState", "ServingLoop"]
+
+#: Event kinds, in tie-break order at equal virtual time.
+_ARRIVAL, _COMPLETION, _TIMEOUT, _SCALE = 0, 1, 2, 3
+
+
+@dataclass
+class LoopResult:
+    """Everything one loop run produced, ready for report building."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+    rejected: list[RejectedRequest] = field(default_factory=list)
+    #: Device executions performed (a formed batch may chunk into several).
+    num_executions: int = 0
+    #: Executions per specialised batch size.
+    batch_size_counts: dict[int, int] = field(default_factory=dict)
+    #: Autoscaler resizes, in event order.
+    scale_events: list["ScaleEvent"] = field(default_factory=list)
+
+
+class LoopState:
+    """Read-only view of the loop that admission and autoscaling see.
+
+    Policies never touch the heap or the forming batch directly; they read
+    the clock, the queue, the worker horizons, and the same engine-backed
+    latency estimates the device-aware router ranks workers with.
+    """
+
+    def __init__(self, loop: "ServingLoop"):
+        self._loop = loop
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time."""
+        return self._loop._now_ms
+
+    @property
+    def pool(self) -> "WorkerPool":
+        """The worker pool (autoscalers resize it through this handle)."""
+        return self._loop.pool
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests in the forming batch."""
+        return len(self._loop._pending)
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples in the forming batch."""
+        return self._loop._pending_samples
+
+    def batch_wait_bound_ms(self, request: InferenceRequest) -> float:
+        """Worst-case batching wait for ``request`` arriving now.
+
+        Joining a forming batch inherits its remaining close deadline; a
+        request opening a fresh batch may wait the full ``max_wait_ms``.
+        """
+        loop = self._loop
+        if loop._pending and (
+            loop._pending_samples + request.num_samples
+            <= loop.policy.max_batch_size
+        ):
+            return max(0.0, loop._batch_deadline_ms - self.now_ms)
+        return loop.policy.max_wait_ms
+
+    def predicted_execution_ms(self, num_samples: int, worker: "Worker") -> float:
+        """Engine-estimated execution latency of the batch on ``worker``."""
+        return self._loop.selector.predicted_latency(
+            self._loop.model, num_samples, worker.device
+        )
+
+    def predicted_completion_ms(self, request: InferenceRequest,
+                                immediate: bool = False) -> float:
+        """Earliest predicted completion of ``request`` across the pool.
+
+        The same arithmetic the earliest-finish router applies — batching
+        wait bound, then per worker ``max(horizon, ready) + execution
+        estimate``, minimised over the pool — extended with the work already
+        *queued but not dispatched*: samples in the forming batch chunk into
+        ladder-sized executions ahead of this request (spread across the
+        pool), and the request's own chunk rides last.  Without that term a
+        whole burst would be admitted against the same idle horizon.
+
+        ``immediate`` predicts a dispatch *now* (no batching wait) — what a
+        preempting arrival experiences.  The worker horizons still apply, so
+        skipping the wait only helps when the wait was the binding term.
+        """
+        loop = self._loop
+        wait_ms = 0.0 if immediate else self.batch_wait_bound_ms(request)
+        ready_ms = self.now_ms + wait_ms
+        ladder_max = loop.selector.max_batch_size
+        # Only pending work the queue discipline serves *before* this request
+        # delays it — priority-preemptive policies jump their high classes
+        # over queued low-priority samples.  The request's own chunk, though,
+        # packs up to ladder_max samples from the *whole* ordered queue: a
+        # queue-jumping request still executes at the rung its riders fill.
+        key = loop.admission.order_key(request)
+        ahead_samples = sum(
+            pending.num_samples
+            for pending in loop._pending
+            if loop.admission.order_key(pending) <= key
+        )
+        total_samples = loop._pending_samples + request.num_samples
+        chunks_ahead = ahead_samples // ladder_max
+        own_chunk = max(
+            request.num_samples,
+            min(ladder_max, total_samples - chunks_ahead * ladder_max),
+        )
+        workers = loop.pool.workers
+        best = float("inf")
+        for worker in workers:
+            own_ms = self.predicted_execution_ms(own_chunk, worker)
+            ahead_ms = (
+                chunks_ahead
+                * self.predicted_execution_ms(ladder_max, worker)
+                / len(workers)
+            )
+            start_ms = max(worker.busy_until_ms, ready_ms)
+            best = min(best, start_ms + ahead_ms + own_ms)
+        return best
+
+
+class ServingLoop:
+    """Drive requests through batcher → admission → router → pool, in time order.
+
+    Parameters
+    ----------
+    model:
+        The model every request targets (the service validates this).
+    policy:
+        Max-batch/max-wait batching policy.
+    pool, router, selector, registry:
+        The service's collaborators; the loop is their conductor, not their
+        owner — it never builds its own.
+    admission:
+        Gate consulted on every arrival; defaults to :class:`AdmitAll`.
+    autoscaler:
+        Optional elastic sizing; when present, scale checks join the heap.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        policy: BatchPolicy,
+        pool: "WorkerPool",
+        router: "Router",
+        selector: "BatchSizeSelector",
+        registry: "ScheduleRegistry",
+        admission: AdmissionPolicy | None = None,
+        autoscaler: "Autoscaler | None" = None,
+    ):
+        self.model = model
+        self.policy = policy
+        self.pool = pool
+        self.router = router
+        self.selector = selector
+        self.registry = registry
+        self.admission = admission or AdmitAll()
+        self.autoscaler = autoscaler
+        self.state = LoopState(self)
+        # Mutable run state (reset per run).
+        self._now_ms = 0.0
+        self._pending: list[InferenceRequest] = []
+        self._pending_samples = 0
+        self._batch_deadline_ms = 0.0
+        self._batch_id = 0
+        self._arrivals_left = 0
+        self._inflight = 0
+        self._heap: list[tuple] = []
+        self._seq = itertools.count()
+        self._result = LoopResult()
+
+    # ----------------------------------------------------------------- driving
+    def run(self, requests: Sequence[InferenceRequest]) -> LoopResult:
+        """Replay ``requests`` (sorted by arrival) and return what happened."""
+        self._reset()
+        for index, request in enumerate(requests):
+            heapq.heappush(self._heap, (request.arrival_ms, _ARRIVAL, index, request))
+        self._seq = itertools.count(len(requests))
+        self._arrivals_left = len(requests)
+        if self.autoscaler is not None and requests:
+            first = requests[0].arrival_ms
+            self._push(first + self.autoscaler.config.interval_ms, _SCALE, None)
+
+        while self._heap:
+            time_ms, kind, _, payload = heapq.heappop(self._heap)
+            self._now_ms = time_ms
+            if kind == _ARRIVAL:
+                self._on_arrival(payload)
+            elif kind == _COMPLETION:
+                self._on_completion()
+            elif kind == _TIMEOUT:
+                self._on_timeout(payload)
+            else:
+                self._on_scale_check()
+        return self._result
+
+    def _reset(self) -> None:
+        self.admission.reset()
+        self._now_ms = 0.0
+        self._pending = []
+        self._pending_samples = 0
+        self._batch_deadline_ms = 0.0
+        self._batch_id = 0
+        self._arrivals_left = 0
+        self._inflight = 0
+        self._heap = []
+        self._result = LoopResult()
+
+    def _push(self, time_ms: float, kind: int, payload) -> None:
+        heapq.heappush(self._heap, (time_ms, kind, next(self._seq), payload))
+
+    # ------------------------------------------------------------------ events
+    def _on_arrival(self, request: InferenceRequest) -> None:
+        self._arrivals_left -= 1
+        decision = self.admission.admit(request, self.state)
+        if not decision.admitted:
+            self._result.rejected.append(
+                RejectedRequest(
+                    request=request,
+                    rejected_ms=self._now_ms,
+                    reason=decision.reason or "rejected",
+                )
+            )
+            return
+        policy = self.policy
+        # A priority-preemptive policy expedites this arrival: the batch
+        # closes *with the request inside* the moment it joins — whatever
+        # queued rides along, and an empty queue means it dispatches alone —
+        # instead of waiting out the max-wait window.
+        preempt = self.admission.preempts(request, self.state)
+        if (
+            self._pending
+            and self._pending_samples + request.num_samples > policy.max_batch_size
+        ):
+            self._close_batch(self._now_ms, "full")
+        if not self._pending:
+            self._batch_deadline_ms = policy.close_deadline_ms(self._now_ms)
+            self._push(self._batch_deadline_ms, _TIMEOUT, self._batch_id)
+        self._pending.append(request)
+        self._pending_samples += request.num_samples
+        self._observe_queue()
+        if self._pending_samples >= policy.max_batch_size:
+            self._close_batch(self._now_ms, "full")
+        elif preempt:
+            self._close_batch(self._now_ms, "priority")
+
+    def _on_completion(self) -> None:
+        self._inflight -= 1
+        if self.autoscaler is not None:
+            self._result.scale_events.extend(self.autoscaler.evaluate(self.state))
+
+    def _on_timeout(self, batch_id: int) -> None:
+        if batch_id != self._batch_id or not self._pending:
+            return  # the batch already closed (full/priority); stale deadline
+        reason = "timeout" if self._arrivals_left else "drain"
+        self._close_batch(self._now_ms, reason)
+
+    def _on_scale_check(self) -> None:
+        assert self.autoscaler is not None
+        self._result.scale_events.extend(self.autoscaler.evaluate(self.state))
+        if self._arrivals_left or self._pending or self._inflight:
+            self._push(self._now_ms + self.autoscaler.config.interval_ms, _SCALE, None)
+
+    # ---------------------------------------------------------------- batching
+    def _observe_queue(self) -> None:
+        """Tell priority-aware policies what the forming batch holds."""
+        observe = getattr(self.admission, "observe_queue", None)
+        if observe is not None:
+            highest = max((request.priority for request in self._pending), default=None)
+            observe(highest)
+
+    def _close_batch(self, formed_ms: float, reason: str) -> None:
+        ordered = sorted(self._pending, key=self.admission.order_key)
+        batch = FormedBatch(requests=ordered, formed_ms=formed_ms, close_reason=reason)
+        self._pending = []
+        self._pending_samples = 0
+        self._batch_id += 1
+        self._observe_queue()
+        for chunk in self._chunk(batch):
+            self._result.num_executions += 1
+            self._execute_chunk(batch, chunk)
+
+    def _chunk(self, batch: FormedBatch) -> list[list[InferenceRequest]]:
+        """Split a formed batch so each chunk fits the ladder maximum.
+
+        The batcher may form a batch larger than the biggest specialised
+        schedule (a single oversized request, or a policy whose
+        ``max_batch_size`` exceeds the ladder).  Requests are packed in
+        dispatch order; a request never spans two executions.
+        """
+        limit = self.selector.max_batch_size
+        chunks: list[list[InferenceRequest]] = []
+        current: list[InferenceRequest] = []
+        current_samples = 0
+        for request in batch.requests:
+            if current and current_samples + request.num_samples > limit:
+                chunks.append(current)
+                current, current_samples = [], 0
+            current.append(request)
+            current_samples += request.num_samples
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # ---------------------------------------------------------------- dispatch
+    def _estimate_for(self, num_samples: int):
+        """Lazy per-worker latency estimate the router ranks candidates with.
+
+        Resolves to the predicted execution latency of an ``num_samples``
+        batch on the worker's device.  Estimating a device type with no
+        registry entry yet triggers its cold compile — the same fan-out a
+        dispatch would cause, just moved to routing time.
+        """
+        def estimate(worker: "Worker") -> float:
+            return self.selector.predicted_latency(
+                self.model, num_samples, worker.device
+            )
+
+        return estimate
+
+    def _execute_chunk(self, batch: FormedBatch, chunk: list[InferenceRequest]) -> None:
+        num_samples = sum(request.num_samples for request in chunk)
+        worker = self.router.pick(
+            self.pool.workers, batch.formed_ms, self._estimate_for(num_samples)
+        )
+        rung = self.selector.select(self.model, num_samples, worker.device)
+        compiled = self.registry.get_compiled(self.model, rung, worker.device)
+        dispatch = self.pool.dispatch(
+            compiled.graph,
+            compiled.schedule,
+            worker,
+            ready_ms=batch.formed_ms,
+            num_samples=num_samples,
+            plan=compiled.plan,
+        )
+        counts = self._result.batch_size_counts
+        counts[rung] = counts.get(rung, 0) + 1
+        for request in chunk:
+            self._result.records.append(
+                RequestRecord(
+                    request=request,
+                    batched_ms=batch.formed_ms,
+                    dispatch_ms=dispatch.start_ms,
+                    completion_ms=dispatch.end_ms,
+                    executed_batch_size=rung,
+                    worker_id=dispatch.worker_id,
+                    device=dispatch.device,
+                )
+            )
+        self._inflight += 1
+        self._push(dispatch.end_ms, _COMPLETION, None)

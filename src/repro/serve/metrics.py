@@ -11,6 +11,12 @@ Heterogeneous fleets additionally get a **per-device-group** breakdown
 batches/samples executed, group utilisation, and the latency summary of the
 requests that ran on that group — the numbers that show whether the router
 actually put the fast silicon to work.
+
+SLO-aware runs (requests carrying ``deadline_ms``, an admission policy other
+than admit-all, or an autoscaler) additionally get
+``ServingReport.slo_summary`` — attainment rate, violations, rejections and
+p50/p95/p99 per priority class (and per traffic burst when requests carry
+``burst_id``) — plus the autoscaler's ``scale_events``.
 """
 
 from __future__ import annotations
@@ -21,9 +27,18 @@ from typing import Sequence
 import numpy as np
 
 from .registry import RegistryStats
-from .request import RequestRecord
+from .request import RejectedRequest, RequestRecord
 
-__all__ = ["percentile", "LatencySummary", "ServingReport", "build_report"]
+__all__ = [
+    "percentile",
+    "LatencySummary",
+    "PriorityClassSlo",
+    "BurstSlo",
+    "SloSummary",
+    "ServingReport",
+    "build_report",
+    "build_slo_summary",
+]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -56,6 +71,16 @@ class LatencySummary:
             max_ms=max(values),
         )
 
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The all-zero summary of a run that completed no request at all.
+
+        Only SLO runs can produce one: an admission policy may reject every
+        request (e.g. all deadlines already missed at arrival), leaving no
+        latency sample to summarise.
+        """
+        return cls(mean_ms=0.0, p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, max_ms=0.0)
+
     def as_dict(self, prefix: str = "") -> dict[str, float]:
         """Flat dict form with keys prefixed by ``prefix`` (CSV columns)."""
         return {
@@ -65,6 +90,86 @@ class LatencySummary:
             f"{prefix}p99_ms": self.p99_ms,
             f"{prefix}max_ms": self.max_ms,
         }
+
+
+@dataclass(frozen=True)
+class PriorityClassSlo:
+    """SLO accounting of one priority class."""
+
+    priority: int
+    #: Requests of this class offered to the service (admitted + rejected).
+    offered: int
+    admitted: int
+    rejected: int
+    #: Completed within their deadline (no-deadline requests count as met).
+    met: int
+    #: Completed after their deadline.
+    violations: int
+    #: ``met / offered`` — a rejected request never attains its SLO.
+    attainment: float
+    #: Latency percentiles over the class's *completed* requests.
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+
+@dataclass(frozen=True)
+class BurstSlo:
+    """SLO attainment of one traffic burst (requests sharing a ``burst_id``)."""
+
+    burst_id: int
+    offered: int
+    admitted: int
+    met: int
+    attainment: float
+
+
+@dataclass(frozen=True)
+class SloSummary:
+    """Deadline/admission accounting of one serving run.
+
+    ``attainment_rate`` is ``met / offered``: the fraction of *all* requests
+    the clients submitted that completed within their deadline.  A rejected
+    request never attains its SLO — load shedding pays off only by letting
+    the admitted requests meet theirs.  Requests without a deadline count as
+    met upon completion.
+    """
+
+    offered: int
+    admitted: int
+    rejected: int
+    #: Admitted requests that carried a deadline.
+    with_deadline: int
+    met: int
+    violations: int
+    attainment_rate: float
+    #: Rejections grouped by the policy's reason string.
+    rejection_reasons: dict[str, int] = field(default_factory=dict)
+    #: Per-priority-class breakdown, highest priority first.
+    per_priority: list[PriorityClassSlo] = field(default_factory=list)
+    #: Per-burst attainment (bursty traffic only), in burst order.
+    per_burst: list[BurstSlo] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable multi-line SLO section (what the CLI prints)."""
+        lines = [
+            f"slo       : {self.met}/{self.offered} met "
+            f"({self.attainment_rate:.1%} attainment), "
+            f"{self.violations} violations, {self.rejected} rejected"
+        ]
+        if self.rejection_reasons:
+            reasons = ", ".join(
+                f"{reason}×{count}"
+                for reason, count in sorted(self.rejection_reasons.items())
+            )
+            lines.append(f"rejections: {reasons}")
+        for row in self.per_priority:
+            lines.append(
+                f"priority {row.priority}: {row.met}/{row.offered} met "
+                f"({row.attainment:.1%}), p50 {row.p50_ms:.3f}  "
+                f"p95 {row.p95_ms:.3f}  p99 {row.p99_ms:.3f} ms"
+            )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -94,6 +199,14 @@ class ServingReport:
     #: Name of the routing policy that dispatched the batches ("" pre-fleet).
     router: str = ""
     records: list[RequestRecord] = field(default_factory=list)
+    #: Name of the admission policy that gated arrivals ("" pre-SLO).
+    admission: str = ""
+    #: Requests the admission policy refused to queue.
+    rejected: list[RejectedRequest] = field(default_factory=list)
+    #: Deadline/admission accounting; ``None`` for runs without SLOs.
+    slo_summary: SloSummary | None = None
+    #: Autoscaler resize events, in event order (empty without an autoscaler).
+    scale_events: list = field(default_factory=list)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -114,7 +227,7 @@ class ServingReport:
             f"max {self.latency.max_ms:.3f} ms",
             f"queue     : mean {self.queue_delay.mean_ms:.3f}  "
             f"p95 {self.queue_delay.p95_ms:.3f} ms",
-            f"batch mix : "
+            "batch mix : "
             + ", ".join(
                 f"bs{size}×{count}" for size, count in sorted(self.batch_size_counts.items())
             ),
@@ -124,6 +237,27 @@ class ServingReport:
         ]
         if self.router:
             lines.append(f"router    : {self.router}")
+        # Keep pre-SLO output byte-compatible: the admission/SLO sections
+        # only print when there is something to say (a non-default policy,
+        # deadlines in play, shed requests, or several priority classes).
+        if self.admission and self.admission != "admit-all":
+            lines.append(f"admission : {self.admission}")
+        slo = self.slo_summary
+        if slo is not None and (
+            slo.rejected or slo.with_deadline or len(slo.per_priority) > 1
+        ):
+            lines.append(slo.describe())
+        if self.scale_events:
+            ups = sum(1 for event in self.scale_events if event.action == "up")
+            downs = len(self.scale_events) - ups
+            sizes = " → ".join(
+                str(size)
+                for size in _pool_size_trajectory(self.scale_events)
+            )
+            lines.append(
+                f"autoscale : {len(self.scale_events)} events "
+                f"({ups} up, {downs} down), pool {sizes}"
+            )
         for row in self.device_summary:
             latency = row.get("latency")
             latency_text = (
@@ -143,6 +277,101 @@ class ServingReport:
         return "\n".join(lines)
 
 
+def _pool_size_trajectory(scale_events) -> list[int]:
+    """Pool sizes the autoscaler stepped through: initial plus each event's."""
+    if not scale_events:
+        return []
+    first = scale_events[0]
+    initial = first.num_workers + (1 if first.action == "down" else -1)
+    return [initial] + [event.num_workers for event in scale_events]
+
+
+def build_slo_summary(
+    records: Sequence[RequestRecord],
+    rejected: Sequence[RejectedRequest] = (),
+) -> SloSummary:
+    """Fold completed records and rejections into an :class:`SloSummary`."""
+    offered = len(records) + len(rejected)
+    met = sum(1 for record in records if record.deadline_met)
+    violations = len(records) - met
+    with_deadline = sum(
+        1 for record in records if record.request.deadline_ms is not None
+    )
+    reasons: dict[str, int] = {}
+    for rejection in rejected:
+        reasons[rejection.reason] = reasons.get(rejection.reason, 0) + 1
+
+    per_priority: list[PriorityClassSlo] = []
+    priorities = sorted(
+        {record.request.priority for record in records}
+        | {rejection.request.priority for rejection in rejected},
+        reverse=True,
+    )
+    for priority in priorities:
+        class_records = [r for r in records if r.request.priority == priority]
+        class_rejected = [
+            r for r in rejected if r.request.priority == priority
+        ]
+        class_met = sum(1 for record in class_records if record.deadline_met)
+        class_offered = len(class_records) + len(class_rejected)
+        latencies = [record.latency_ms for record in class_records]
+        per_priority.append(
+            PriorityClassSlo(
+                priority=priority,
+                offered=class_offered,
+                admitted=len(class_records),
+                rejected=len(class_rejected),
+                met=class_met,
+                violations=len(class_records) - class_met,
+                attainment=class_met / class_offered if class_offered else 0.0,
+                p50_ms=percentile(latencies, 50) if latencies else 0.0,
+                p95_ms=percentile(latencies, 95) if latencies else 0.0,
+                p99_ms=percentile(latencies, 99) if latencies else 0.0,
+            )
+        )
+
+    per_burst: list[BurstSlo] = []
+    burst_ids = sorted(
+        {
+            record.request.burst_id
+            for record in records
+            if record.request.burst_id is not None
+        }
+        | {
+            rejection.request.burst_id
+            for rejection in rejected
+            if rejection.request.burst_id is not None
+        }
+    )
+    for burst_id in burst_ids:
+        burst_records = [r for r in records if r.request.burst_id == burst_id]
+        burst_rejected = [r for r in rejected if r.request.burst_id == burst_id]
+        burst_met = sum(1 for record in burst_records if record.deadline_met)
+        burst_offered = len(burst_records) + len(burst_rejected)
+        per_burst.append(
+            BurstSlo(
+                burst_id=burst_id,
+                offered=burst_offered,
+                admitted=len(burst_records),
+                met=burst_met,
+                attainment=burst_met / burst_offered if burst_offered else 0.0,
+            )
+        )
+
+    return SloSummary(
+        offered=offered,
+        admitted=len(records),
+        rejected=len(rejected),
+        with_deadline=with_deadline,
+        met=met,
+        violations=violations,
+        attainment_rate=met / offered if offered else 0.0,
+        rejection_reasons=reasons,
+        per_priority=per_priority,
+        per_burst=per_burst,
+    )
+
+
 def build_report(
     records: Sequence[RequestRecord],
     num_batches: int,
@@ -151,6 +380,9 @@ def build_report(
     worker_summary: list[dict[str, object]],
     group_summary: list[dict[str, object]] | None = None,
     router: str = "",
+    admission: str = "",
+    rejected: Sequence[RejectedRequest] = (),
+    scale_events: Sequence | None = None,
 ) -> ServingReport:
     """Fold per-request records into a :class:`ServingReport`.
 
@@ -172,11 +404,26 @@ def build_report(
         enriched with the latency summary of the requests it executed.
     router:
         Name of the routing policy that dispatched the batches.
+    admission:
+        Name of the admission policy that gated arrivals; any non-empty name
+        (or any request with a deadline, or any rejection) adds an
+        :class:`SloSummary` to the report.
+    rejected:
+        Requests the admission policy refused to queue.  A run may consist of
+        rejections only — then every latency summary is all-zero.
+    scale_events:
+        Autoscaler resize events to record in the report.
     """
-    if not records:
+    if not records and not rejected:
         raise ValueError("cannot build a serving report from zero records")
-    first_arrival = min(record.request.arrival_ms for record in records)
-    last_completion = max(record.completion_ms for record in records)
+    arrivals = [record.request.arrival_ms for record in records] + [
+        rejection.request.arrival_ms for rejection in rejected
+    ]
+    first_arrival = min(arrivals)
+    last_completion = max(
+        (record.completion_ms for record in records),
+        default=first_arrival,
+    )
     makespan_ms = max(last_completion - first_arrival, 1e-9)
     num_samples = sum(record.request.num_samples for record in records)
     device_summary: list[dict[str, object]] = []
@@ -189,6 +436,16 @@ def build_report(
         if group_latencies:
             row["latency"] = LatencySummary.from_values(group_latencies)
         device_summary.append(row)
+    # The default admit-all policy on deadline-free traffic is not an SLO
+    # signal: plain runs keep slo_summary is None, preserving the "None for
+    # runs without SLOs" contract downstream code branches on.
+    slo_summary = None
+    if (
+        (admission and admission != "admit-all")
+        or rejected
+        or any(record.request.deadline_ms is not None for record in records)
+    ):
+        slo_summary = build_slo_summary(records, rejected)
     return ServingReport(
         num_requests=len(records),
         num_samples=num_samples,
@@ -196,9 +453,13 @@ def build_report(
         makespan_ms=makespan_ms,
         throughput_rps=len(records) / (makespan_ms / 1e3),
         throughput_samples_per_s=num_samples / (makespan_ms / 1e3),
-        latency=LatencySummary.from_values([record.latency_ms for record in records]),
-        queue_delay=LatencySummary.from_values(
-            [record.queue_delay_ms for record in records]
+        latency=(
+            LatencySummary.from_values([record.latency_ms for record in records])
+            if records else LatencySummary.empty()
+        ),
+        queue_delay=(
+            LatencySummary.from_values([record.queue_delay_ms for record in records])
+            if records else LatencySummary.empty()
         ),
         batch_size_counts=dict(sorted(batch_size_counts.items())),
         # Copy: the registry keeps mutating its own counters when it is shared
@@ -208,4 +469,8 @@ def build_report(
         device_summary=device_summary,
         router=router,
         records=list(records),
+        admission=admission,
+        rejected=list(rejected),
+        slo_summary=slo_summary,
+        scale_events=list(scale_events or []),
     )

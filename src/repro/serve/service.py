@@ -1,42 +1,53 @@
-"""The inference service: batcher → router → registry → worker pool.
+"""The inference service: admission → batcher → router → registry → worker pool.
 
 :class:`InferenceService` is the composition root of the serving subsystem.
 One call to :meth:`InferenceService.run` replays a request stream through the
-full pipeline on the virtual clock:
+full pipeline on the virtual clock, driven by the discrete-event
+:class:`~repro.serve.loop.ServingLoop`:
 
-1. the :class:`~repro.serve.batcher.DynamicBatcher` groups arrivals under the
-   max-batch/max-wait policy;
-2. the :class:`~repro.serve.fleet.Router` picks the worker each formed batch
+1. the :class:`~repro.serve.admission.AdmissionPolicy` gates every arrival —
+   admit-all by default, deadline-aware or priority-preemptive shedding when
+   requests carry SLOs;
+2. the loop forms batches under the max-batch/max-wait policy of
+   :class:`~repro.serve.batcher.BatchPolicy` (exactly the batches the offline
+   :class:`~repro.serve.batcher.DynamicBatcher` would form);
+3. the :class:`~repro.serve.fleet.Router` picks the worker each formed batch
    executes on — by default :class:`~repro.serve.fleet.EarliestFinishRouter`,
    which ranks workers by queueing delay *plus* the device's predicted
    execution latency, so mixed-device fleets route device-aware;
-3. the :class:`~repro.serve.batcher.BatchSizeSelector` picks the best
+4. the :class:`~repro.serve.batcher.BatchSizeSelector` picks the best
    batch-size-specialised :class:`~repro.engine.CompiledModel` for the chosen
    worker's device from the :class:`~repro.serve.registry.ScheduleRegistry`
    (compiling through :class:`repro.engine.Engine` on a cold miss, loading
    the persisted artifact — zero scheduler searches — on a warm one);
-4. the :class:`~repro.serve.workers.WorkerPool` executes the compiled model's
+5. the :class:`~repro.serve.workers.WorkerPool` executes the compiled model's
    execution plan on the simulated device and the per-request timeline is
-   recorded.
+   recorded; an optional :class:`~repro.serve.autoscale.Autoscaler` grows and
+   shrinks the pool as the loop's scale-check events fire.
 
 The result is a :class:`~repro.serve.metrics.ServingReport`, including
-per-device-group utilisation and latency when the fleet is heterogeneous.
+per-device-group utilisation and latency when the fleet is heterogeneous,
+and an :class:`~repro.serve.metrics.SloSummary` plus scale events when the
+run is SLO-aware.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..core.dp_scheduler import normalize_variant
-from ..hardware.device import get_devices
+from ..hardware.device import get_device, get_devices
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
-from .batcher import BatchPolicy, BatchSizeSelector, DynamicBatcher
+from .admission import AdmissionPolicy, get_admission_policy
+from .autoscale import AutoscaleConfig, Autoscaler
+from .batcher import BatchPolicy, BatchSizeSelector
 from .fleet import FleetSpec, Router, get_router
+from .loop import ServingLoop
 from .metrics import ServingReport, build_report
 from .registry import ScheduleRegistry
-from .request import FormedBatch, InferenceRequest, RequestRecord
-from .workers import Worker, WorkerPool
+from .request import InferenceRequest
+from .workers import WorkerPool
 
 __all__ = ["ServingConfig", "InferenceService"]
 
@@ -81,6 +92,14 @@ class ServingConfig:
     #: keys fingerprint the rewritten graph, so flipping this never reuses
     #: schedules searched for the other form.
     passes: bool = False
+    #: Admission policy gating arrivals: any name in
+    #: :func:`repro.serve.admission.list_admission_policies`, or a pre-built
+    #: :class:`~repro.serve.admission.AdmissionPolicy` instance (used as-is).
+    admission: "str | AdmissionPolicy" = "admit-all"
+    #: Elastic pool bounds: an :class:`~repro.serve.autoscale.AutoscaleConfig`,
+    #: a ``"min:max"`` string, or ``None`` for a fixed-size pool.  A ``fleet``
+    #: declaring ``min_workers``/``max_workers`` enables autoscaling too.
+    autoscale: "AutoscaleConfig | str | None" = None
 
     def __post_init__(self) -> None:
         # Normalise the fleet first: it is the authoritative pool declaration
@@ -89,6 +108,15 @@ class ServingConfig:
             fleet = FleetSpec.of(self.fleet)
             object.__setattr__(self, "fleet", fleet)
             object.__setattr__(self, "devices", fleet.device_names())
+            if fleet.is_elastic and self.autoscale is None:
+                object.__setattr__(
+                    self,
+                    "autoscale",
+                    AutoscaleConfig(
+                        min_workers=fleet.min_workers,
+                        max_workers=fleet.max_workers,
+                    ),
+                )
         if not self.devices:
             raise ValueError("serving needs at least one device")
         if not self.batch_sizes:
@@ -98,6 +126,23 @@ class ServingConfig:
         # kept as-is (get_router passes it through).
         if not isinstance(self.router, Router):
             object.__setattr__(self, "router", get_router(self.router).name)
+        # The admission policy resolves the same way as the router.
+        if not isinstance(self.admission, AdmissionPolicy):
+            object.__setattr__(
+                self, "admission", get_admission_policy(self.admission).name
+            )
+        if self.autoscale is not None:
+            autoscale = AutoscaleConfig.of(self.autoscale)
+            object.__setattr__(self, "autoscale", autoscale)
+            # Same contract FleetSpec enforces for elastic fleets: the
+            # declared pool is the starting point inside the bounds, never
+            # already outside them.
+            if not autoscale.min_workers <= len(self.devices) <= autoscale.max_workers:
+                raise ValueError(
+                    f"declared pool size {len(self.devices)} must lie within "
+                    f"the autoscale bounds [{autoscale.min_workers}, "
+                    f"{autoscale.max_workers}]"
+                )
         # Canonicalise drifted variant spellings so the config, the registry
         # key and the CLI can never disagree.
         object.__setattr__(self, "variant", normalize_variant(self.variant))
@@ -125,6 +170,9 @@ class InferenceService:
     router:
         Inject a pre-built :class:`~repro.serve.fleet.Router` instance
         (custom policies, tests); defaults to ``config.router`` by name.
+    admission:
+        Inject a pre-built :class:`~repro.serve.admission.AdmissionPolicy`
+        instance; defaults to ``config.admission`` by name.
     """
 
     def __init__(
@@ -133,6 +181,7 @@ class InferenceService:
         registry: ScheduleRegistry | None = None,
         profile: KernelProfile = CUDNN_PROFILE,
         router: Router | None = None,
+        admission: AdmissionPolicy | None = None,
     ):
         self.config = config
         self.profile = profile
@@ -142,11 +191,34 @@ class InferenceService:
         )
         self.pool = WorkerPool(get_devices(config.devices), profile=profile)
         self.router = router if router is not None else get_router(config.router)
-        self.batcher = DynamicBatcher(config.policy)
+        self.admission = (
+            admission if admission is not None
+            else get_admission_policy(config.admission)
+        )
+        self.autoscaler = (
+            Autoscaler(config.autoscale, get_device(self._scale_device()))
+            if config.autoscale is not None else None
+        )
         self.selector = BatchSizeSelector(
             self.registry, config.batch_sizes, profile=profile,
             measure=self.pool.plan_latency_for,
         )
+        self.loop = ServingLoop(
+            model=config.model,
+            policy=config.policy,
+            pool=self.pool,
+            router=self.router,
+            selector=self.selector,
+            registry=self.registry,
+            admission=self.admission,
+            autoscaler=self.autoscaler,
+        )
+
+    def _scale_device(self) -> str:
+        """Device preset the autoscaler spawns: the fleet's primary device."""
+        if self.config.fleet is not None:
+            return self.config.fleet.primary_device()
+        return self.config.devices[0]
 
     # ------------------------------------------------------------------ warmup
     def warmup(self) -> None:
@@ -181,89 +253,16 @@ class InferenceService:
                 )
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
 
-        records: list[RequestRecord] = []
-        batch_size_counts: dict[int, int] = {}
-        num_executions = 0
-        for batch in self.batcher.iter_batches(ordered):
-            for chunk in self._chunk(batch):
-                num_executions += 1
-                self._execute_chunk(batch, chunk, records, batch_size_counts)
-
+        outcome = self.loop.run(ordered)
         return build_report(
-            records=records,
-            num_batches=num_executions,
-            batch_size_counts=batch_size_counts,
+            records=outcome.records,
+            num_batches=outcome.num_executions,
+            batch_size_counts=outcome.batch_size_counts,
             registry_stats=self.registry.stats,
             worker_summary=self.pool.summary(),
             group_summary=self.pool.group_summary(),
             router=self.router.name,
+            admission=self.admission.name,
+            rejected=outcome.rejected,
+            scale_events=outcome.scale_events,
         )
-
-    # ----------------------------------------------------------------- helpers
-    def _chunk(self, batch: FormedBatch) -> list[list[InferenceRequest]]:
-        """Split a formed batch so each chunk fits the ladder maximum.
-
-        The batcher may form a batch larger than the biggest specialised
-        schedule (a single oversized request, or a policy whose
-        ``max_batch_size`` exceeds the ladder).  Requests are packed
-        first-come-first-served; a request never spans two executions.
-        """
-        limit = self.selector.max_batch_size
-        chunks: list[list[InferenceRequest]] = []
-        current: list[InferenceRequest] = []
-        current_samples = 0
-        for request in batch.requests:
-            if current and current_samples + request.num_samples > limit:
-                chunks.append(current)
-                current, current_samples = [], 0
-            current.append(request)
-            current_samples += request.num_samples
-        if current:
-            chunks.append(current)
-        return chunks
-
-    def _estimate_for(self, num_samples: int) -> Callable[[Worker], float]:
-        """Lazy per-worker latency estimate the router ranks candidates with.
-
-        Resolves to the predicted execution latency of an ``num_samples``
-        batch on the worker's device.  Estimating a device type with no
-        registry entry yet triggers its cold compile — the same fan-out a
-        dispatch would cause, just moved to routing time.
-        """
-        def estimate(worker: Worker) -> float:
-            return self.selector.predicted_latency(
-                self.config.model, num_samples, worker.device
-            )
-
-        return estimate
-
-    def _execute_chunk(
-        self,
-        batch: FormedBatch,
-        chunk: list[InferenceRequest],
-        records: list[RequestRecord],
-        batch_size_counts: dict[int, int],
-    ) -> None:
-        num_samples = sum(request.num_samples for request in chunk)
-        worker = self.router.pick(
-            self.pool.workers, batch.formed_ms, self._estimate_for(num_samples)
-        )
-        rung = self.selector.select(self.config.model, num_samples, worker.device)
-        compiled = self.registry.get_compiled(self.config.model, rung, worker.device)
-        dispatch = self.pool.dispatch(
-            compiled.graph, compiled.schedule, worker,
-            ready_ms=batch.formed_ms, num_samples=num_samples, plan=compiled.plan,
-        )
-        batch_size_counts[rung] = batch_size_counts.get(rung, 0) + 1
-        for request in chunk:
-            records.append(
-                RequestRecord(
-                    request=request,
-                    batched_ms=batch.formed_ms,
-                    dispatch_ms=dispatch.start_ms,
-                    completion_ms=dispatch.end_ms,
-                    executed_batch_size=rung,
-                    worker_id=dispatch.worker_id,
-                    device=dispatch.device,
-                )
-            )

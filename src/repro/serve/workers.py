@@ -59,12 +59,25 @@ class Worker:
     batches_executed: int = 0
     samples_executed: int = 0
     busy_ms: float = 0.0
+    #: When the worker joined the pool (0 for the initial fleet; the
+    #: autoscaler stamps scale-up spawns with the virtual clock).
+    spawned_ms: float = 0.0
+    #: When the worker left the pool (``None`` while it is active).
+    retired_ms: float | None = None
 
     def utilization(self, makespan_ms: float) -> float:
-        """Fraction of the run this worker spent executing batches."""
-        if makespan_ms <= 0:
+        """Fraction of its *lifetime* this worker spent executing batches.
+
+        A worker's lifetime runs from its spawn to its retirement (or to
+        ``makespan_ms`` while active) — on a fixed pool that is the whole
+        run, exactly as before, while an autoscaler-spawned worker is judged
+        only over the slice of the run it existed for.
+        """
+        end_ms = makespan_ms if self.retired_ms is None else self.retired_ms
+        lifetime_ms = end_ms - self.spawned_ms
+        if lifetime_ms <= 0:
             return 0.0
-        return min(1.0, self.busy_ms / makespan_ms)
+        return min(1.0, self.busy_ms / lifetime_ms)
 
 
 @dataclass
@@ -108,6 +121,12 @@ class WorkerPool:
             Worker(worker_id=index, device=device, executor=Executor(device, profile))
             for index, device in enumerate(devices)
         ]
+        #: Workers removed by the autoscaler; they keep their executed-batch
+        #: accounting and still appear in :meth:`summary`.
+        self.retired: list[Worker] = []
+        #: Worker ids are never reused, so records stay unambiguous even
+        #: after the pool shrank and grew again.
+        self._next_worker_id = len(self.workers)
         #: Lowered-plan cache keyed by (graph name, batch size, device name,
         #: schedule origin) — lowering validates and rebuilds merged operators,
         #: so it is worth skipping on the request path.
@@ -214,12 +233,55 @@ class WorkerPool:
             self._plan_cache[key] = lower_schedule(graph, schedule)
         return self._plan_cache[key]
 
+    # ------------------------------------------------------------- elasticity
+    def add_worker(self, device: DeviceSpec, now_ms: float = 0.0) -> Worker:
+        """Grow the pool by one worker of ``device`` (autoscaler scale-up).
+
+        The new worker shares the pool's plan/latency caches (they are keyed
+        by device name, not worker), so a replica of an already-served device
+        type starts warm.
+        """
+        worker = Worker(
+            worker_id=self._next_worker_id,
+            device=device,
+            executor=Executor(device, self.profile),
+            busy_until_ms=now_ms,
+            spawned_ms=now_ms,
+        )
+        self._next_worker_id += 1
+        self.workers.append(worker)
+        return worker
+
+    def remove_worker(self, worker: Worker, now_ms: float = 0.0) -> None:
+        """Retire ``worker`` from the pool (autoscaler scale-down).
+
+        Only an idle worker may retire — the loop never removes one with a
+        batch still executing — and the last worker can never leave.  The
+        retired worker keeps its accounting and stays in :meth:`summary`.
+        """
+        if worker not in self.workers:
+            raise ValueError(f"worker {worker.worker_id} is not in the pool")
+        if len(self.workers) == 1:
+            raise ValueError("cannot retire the last worker of the pool")
+        if worker.busy_until_ms > now_ms:
+            raise ValueError(
+                f"worker {worker.worker_id} is busy until "
+                f"{worker.busy_until_ms}ms; cannot retire it at {now_ms}ms"
+            )
+        self.workers.remove(worker)
+        worker.retired_ms = now_ms
+        self.retired.append(worker)
+
+    def all_workers(self) -> list[Worker]:
+        """Active plus retired workers, in worker-id order (accounting view)."""
+        return sorted(self.workers + self.retired, key=lambda w: w.worker_id)
+
     def makespan_ms(self) -> float:
-        """Latest completion over all workers."""
-        return max(worker.busy_until_ms for worker in self.workers)
+        """Latest completion over all workers (retired ones included)."""
+        return max(worker.busy_until_ms for worker in self.all_workers())
 
     def summary(self) -> list[dict[str, object]]:
-        """Per-worker accounting rows for reports."""
+        """Per-worker accounting rows for reports (retired workers included)."""
         makespan = self.makespan_ms()
         return [
             {
@@ -230,30 +292,37 @@ class WorkerPool:
                 "busy_ms": worker.busy_ms,
                 "utilization": worker.utilization(makespan),
             }
-            for worker in self.workers
+            for worker in self.all_workers()
         ]
 
     def group_summary(self) -> list[dict[str, object]]:
         """Per-device-group accounting rows (one row per device type).
 
         ``utilization`` is the group's busy time divided by the group's total
-        available time (``workers × makespan``), so a group of idle replicas
-        dilutes its own utilisation, not another group's.
+        available time, so a group of idle replicas dilutes its own
+        utilisation, not another group's.  A worker's available time is its
+        *lifetime* (spawn to retirement, or to the makespan while active):
+        on a fixed pool that is ``workers × makespan`` as before, while on an
+        elastic pool a worker the autoscaler ran for only a slice of the run
+        contributes only that slice to the denominator.  ``workers`` counts
+        every worker that ever served in the group (pool churn included).
         """
         makespan = self.makespan_ms()
         groups: dict[str, dict[str, object]] = {}
-        for worker in self.workers:
+        for worker in self.all_workers():
             row = groups.setdefault(
                 worker.device.name,
                 {"device": worker.device.name, "workers": 0, "batches": 0,
-                 "samples": 0, "busy_ms": 0.0},
+                 "samples": 0, "busy_ms": 0.0, "available_ms": 0.0},
             )
             row["workers"] += 1
             row["batches"] += worker.batches_executed
             row["samples"] += worker.samples_executed
             row["busy_ms"] += worker.busy_ms
+            end_ms = makespan if worker.retired_ms is None else worker.retired_ms
+            row["available_ms"] += max(0.0, end_ms - worker.spawned_ms)
         for row in groups.values():
-            available = row["workers"] * makespan
+            available = row.pop("available_ms")
             row["utilization"] = (
                 min(1.0, row["busy_ms"] / available) if available > 0 else 0.0
             )

@@ -175,3 +175,49 @@ class TestServeCLI:
         rows = [line for line in out.splitlines()
                 if line.startswith(("poisson", "bursty", "uniform"))]
         assert rows and all(row.startswith("uniform") for row in rows)
+
+
+class TestServeSloCLI:
+    SLO_ARGS = [
+        "serve", "--model", "squeezenet", "--device", "k80", "--num-workers", "1",
+        "--pattern", "bursty", "--burst-size", "64", "--burst-gap-ms", "30",
+        "--requests", "160", "--batch-sizes", "1,2,4,8", "--max-wait-ms", "2",
+        "--slo", "20",
+    ]
+
+    def test_serve_slo_run_prints_the_slo_section(self, capsys):
+        args = self.SLO_ARGS + ["--admission", "deadline", "--autoscale", "1:3"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "admission : deadline" in out
+        assert "slo       :" in out
+        assert "attainment" in out
+        assert "autoscale :" in out
+
+    def test_serve_slo_compare_prints_the_admission_table(self, capsys, tmp_path):
+        args = self.SLO_ARGS + ["--compare", "--csv-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "admit-all" in out
+        assert "deadline" in out
+        assert (tmp_path / "slo_comparison.csv").exists()
+
+    def test_serve_old_invocations_have_no_slo_noise(self, capsys):
+        assert main(["serve", "--model", "squeezenet", "--requests", "40",
+                     "--batch-sizes", "1,2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "slo       :" not in out
+        assert "admission :" not in out
+        assert "autoscale :" not in out
+
+    @pytest.mark.parametrize("bad", [
+        ["--slo", "-1"],
+        ["--autoscale", "3"],
+        ["--autoscale", "4:1"],
+        ["--autoscale", "2:4", "--num-workers", "1"],
+        ["--admission", "nope"],
+        ["--slo", "20", "--compare", "--fleet", "k80:1,v100:1"],
+    ])
+    def test_serve_slo_rejects_bad_arguments_cleanly(self, bad):
+        with pytest.raises(SystemExit):
+            main(["serve"] + bad)

@@ -176,9 +176,9 @@ class TestOptimizeGraphCache:
         def duplicate_convs():
             b = GraphBuilder("dups", TensorShape(1, 3, 8, 8))
             with b.block("blk"):
-                l = b.conv2d("conv_a", b.input_name, out_channels=4, kernel=3)
+                left = b.conv2d("conv_a", b.input_name, out_channels=4, kernel=3)
                 r = b.conv2d("conv_b", b.input_name, out_channels=4, kernel=3)
-                b.concat("cat", [l, r])
+                b.concat("cat", [left, r])
             return b.build()
 
         conservative = optimize_graph(duplicate_convs(), [CommonSubexpressionPass()])

@@ -118,9 +118,9 @@ class TestCommonSubexpression:
         b = GraphBuilder("g", SHAPE)
         x = b.input_name
         with b.block("blk"):
-            l = b.conv2d("conv_a", x, out_channels=4, kernel=3)
+            left = b.conv2d("conv_a", x, out_channels=4, kernel=3)
             r = b.conv2d("conv_b", x, out_channels=4, kernel=3)
-            b.concat("cat", [l, r])
+            b.concat("cat", [left, r])
         graph, rewrites = CommonSubexpressionPass().run(b.build())
         # Same config, but the two convolutions own different learned weights.
         assert rewrites == 0
@@ -130,9 +130,9 @@ class TestCommonSubexpression:
         b = GraphBuilder("g", SHAPE)
         x = b.input_name
         with b.block("blk"):
-            l = b.conv2d("conv_a", x, out_channels=4, kernel=3)
+            left = b.conv2d("conv_a", x, out_channels=4, kernel=3)
             r = b.conv2d("conv_b", x, out_channels=4, kernel=3)
-            b.concat("cat", [l, r])
+            b.concat("cat", [left, r])
         graph, rewrites = CommonSubexpressionPass(include_weighted=True).run(b.build())
         assert rewrites == 1
         assert graph.nodes["cat"].inputs == ("conv_a", "conv_a")
@@ -194,9 +194,9 @@ class TestSplitConcatSimplify:
 
     def test_split_of_concat_selects_branch(self):
         b = GraphBuilder("g", SHAPE)
-        l = b.conv2d("left", b.input_name, out_channels=2, kernel=1)
+        left = b.conv2d("left", b.input_name, out_channels=2, kernel=1)
         r = b.conv2d("right", b.input_name, out_channels=4, kernel=1)
-        cat = b.concat("cat", [l, r])
+        cat = b.concat("cat", [left, r])
         s = b.split("take_right", cat, sections=[2, 4], index=1)
         b.max_pool("pool", s, kernel=2)
         graph, rewrites = SplitConcatSimplifyPass().run(b.build())
@@ -269,11 +269,11 @@ class TestCanonicalize:
             b = GraphBuilder("g", SHAPE)
             if right_first:
                 r = b.conv2d("r", b.input_name, out_channels=4, kernel=1)
-                l = b.conv2d("l", b.input_name, out_channels=4, kernel=3)
+                left = b.conv2d("l", b.input_name, out_channels=4, kernel=3)
             else:
-                l = b.conv2d("l", b.input_name, out_channels=4, kernel=3)
+                left = b.conv2d("l", b.input_name, out_channels=4, kernel=3)
                 r = b.conv2d("r", b.input_name, out_channels=4, kernel=1)
-            b.concat("cat", [l, r])
+            b.concat("cat", [left, r])
             return b.build()
 
         a, _ = CanonicalizePass().run(build(True))

@@ -1,0 +1,287 @@
+"""Tests for the autoscaler and elastic worker pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import chain_graph
+from repro.serve import (
+    AutoscaleConfig,
+    BatchPolicy,
+    FleetSpec,
+    InferenceService,
+    ScheduleRegistry,
+    ServingConfig,
+    TrafficConfig,
+    TrafficGenerator,
+    WorkerPool,
+)
+from repro.hardware import get_device
+
+
+def toy_service(**overrides) -> InferenceService:
+    overrides.setdefault("model", "toy")
+    overrides.setdefault("devices", ("v100",))
+    overrides.setdefault("batch_sizes", (1, 2, 4))
+    overrides.setdefault("policy", BatchPolicy(max_batch_size=4, max_wait_ms=1.0))
+    registry = ScheduleRegistry(
+        graph_builder=lambda model, bs: chain_graph(length=3, batch_size=bs)
+    )
+    return InferenceService(ServingConfig(**overrides), registry=registry)
+
+
+def bursty_traffic(num_requests=120, burst_size=30, burst_gap_ms=8.0, seed=2):
+    return TrafficGenerator(
+        TrafficConfig(
+            model="toy", pattern="bursty", num_requests=num_requests,
+            burst_size=burst_size, burst_gap_ms=burst_gap_ms, seed=seed,
+        ).capped_to(4)
+    ).generate()
+
+
+class TestAutoscaleConfig:
+    def test_parse_min_max(self):
+        config = AutoscaleConfig.parse("2:6")
+        assert (config.min_workers, config.max_workers) == (2, 6)
+
+    def test_parse_with_overrides(self):
+        config = AutoscaleConfig.parse("1:3", interval_ms=2.0, cooldown_ms=4.0)
+        assert config.interval_ms == 2.0
+        assert config.cooldown_ms == 4.0
+
+    @pytest.mark.parametrize("bad", ["", "3", "1:2:3", "a:b", "4:1"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            AutoscaleConfig.parse(bad)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_workers": 0},
+        {"min_workers": 3, "max_workers": 2},
+        {"interval_ms": 0.0},
+        {"scale_up_backlog_ms": -1.0},
+        {"cooldown_ms": -1.0},
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscaleConfig(**kwargs)
+
+    def test_of_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            AutoscaleConfig.of(7)
+
+
+class TestElasticPool:
+    def test_add_worker_extends_the_pool_with_fresh_ids(self, v100):
+        pool = WorkerPool([v100])
+        worker = pool.add_worker(v100, now_ms=5.0)
+        assert worker.worker_id == 1
+        assert worker.spawned_ms == 5.0
+        assert len(pool) == 2
+
+    def test_remove_worker_retires_but_keeps_accounting(self, v100):
+        pool = WorkerPool([v100, v100])
+        victim = pool.workers[1]
+        pool.remove_worker(victim, now_ms=3.0)
+        assert len(pool.workers) == 1
+        assert victim.retired_ms == 3.0
+        assert [row["worker"] for row in pool.summary()] == [0, 1]
+
+    def test_cannot_remove_a_busy_worker(self, v100):
+        pool = WorkerPool([v100, v100])
+        pool.workers[1].busy_until_ms = 10.0
+        with pytest.raises(ValueError):
+            pool.remove_worker(pool.workers[1], now_ms=5.0)
+
+    def test_cannot_remove_the_last_worker(self, v100):
+        pool = WorkerPool([v100])
+        with pytest.raises(ValueError):
+            pool.remove_worker(pool.workers[0], now_ms=0.0)
+
+    def test_worker_ids_are_never_reused(self, v100):
+        pool = WorkerPool([v100, v100])
+        pool.remove_worker(pool.workers[1], now_ms=0.0)
+        replacement = pool.add_worker(v100, now_ms=1.0)
+        assert replacement.worker_id == 2
+
+    def test_per_worker_utilization_uses_the_lifetime_too(self, v100):
+        pool = WorkerPool([v100])
+        late = pool.add_worker(v100, now_ms=60.0)
+        late.busy_ms = 30.0
+        late.busy_until_ms = 100.0
+        pool.workers[0].busy_until_ms = 100.0
+        rows = {row["worker"]: row for row in pool.summary()}
+        # 30ms busy over a 40ms lifetime, not over the 100ms makespan.
+        assert rows[1]["utilization"] == pytest.approx(30.0 / 40.0)
+
+    def test_group_utilization_uses_worker_lifetimes(self, v100):
+        # A worker that existed for only a slice of the run contributes only
+        # that slice of available time — churn must not dilute utilisation.
+        pool = WorkerPool([v100])
+        pool.workers[0].busy_ms = 50.0
+        pool.workers[0].busy_until_ms = 100.0
+        late = pool.add_worker(v100, now_ms=60.0)
+        late.busy_ms = 20.0
+        late.busy_until_ms = 100.0
+        row = pool.group_summary()[0]
+        assert row["workers"] == 2
+        # available = 100 (full run) + 40 (spawned at 60), not 2 × 100.
+        assert row["utilization"] == pytest.approx(70.0 / 140.0)
+
+
+class TestAutoscalingService:
+    def test_scales_up_under_burst_and_records_events(self):
+        # The toy chain executes in ~0.1ms, so the watermarks sit at the same
+        # scale: any sustained backlog trips them.
+        service = toy_service(
+            autoscale=AutoscaleConfig(min_workers=1, max_workers=3,
+                                      interval_ms=0.2, scale_up_backlog_ms=0.02),
+        )
+        report = service.run(bursty_traffic())
+        assert len(report.scale_events) > 0
+        assert any(event.action == "up" for event in report.scale_events)
+        peak = max(event.num_workers for event in report.scale_events)
+        assert peak > 1
+
+    def test_never_exceeds_the_max_bound(self):
+        service = toy_service(
+            autoscale=AutoscaleConfig(min_workers=1, max_workers=2,
+                                      interval_ms=0.2, scale_up_backlog_ms=0.02),
+        )
+        report = service.run(bursty_traffic())
+        assert all(event.num_workers <= 2 for event in report.scale_events)
+        assert len(service.pool.workers) <= 2
+
+    def test_never_shrinks_below_the_min_bound(self):
+        service = toy_service(
+            devices=("v100", "v100"),
+            autoscale=AutoscaleConfig(min_workers=2, max_workers=3,
+                                      interval_ms=1.0, scale_up_backlog_ms=0.5),
+        )
+        # Sparse traffic: the pool idles between arrivals, inviting downs.
+        requests = bursty_traffic(num_requests=20, burst_size=2, burst_gap_ms=30.0)
+        report = service.run(requests)
+        assert all(event.num_workers >= 2 for event in report.scale_events)
+        assert len(service.pool.workers) >= 2
+
+    def test_pinned_at_bounds_when_min_equals_max(self):
+        service = toy_service(
+            autoscale=AutoscaleConfig(min_workers=1, max_workers=1,
+                                      interval_ms=0.2, scale_up_backlog_ms=0.02),
+        )
+        report = service.run(bursty_traffic())
+        assert report.scale_events == []
+        assert len(service.pool.workers) == 1
+
+    def test_scale_down_returns_after_the_burst(self):
+        service = toy_service(
+            autoscale=AutoscaleConfig(min_workers=1, max_workers=3,
+                                      interval_ms=0.2, scale_up_backlog_ms=0.02),
+        )
+        # One heavy burst, then a long quiet tail of stragglers.
+        burst = bursty_traffic(num_requests=60, burst_size=60, burst_gap_ms=5.0)
+        quiet = bursty_traffic(num_requests=6, burst_size=1, burst_gap_ms=50.0)
+        offset = max(r.arrival_ms for r in burst) + 5.0
+        import dataclasses
+        tail = [
+            dataclasses.replace(r, request_id=100 + i, arrival_ms=r.arrival_ms + offset)
+            for i, r in enumerate(quiet)
+        ]
+        report = service.run(burst + tail)
+        actions = [event.action for event in report.scale_events]
+        assert "up" in actions and "down" in actions
+
+    def test_autoscale_spec_string_accepted_by_config(self):
+        config = ServingConfig(model="toy", autoscale="1:4")
+        assert config.autoscale == AutoscaleConfig(min_workers=1, max_workers=4)
+
+    @pytest.mark.parametrize("devices, bounds", [
+        (("v100",) * 4, "1:3"),   # starts above max
+        (("v100",), "2:4"),       # starts below min
+    ])
+    def test_declared_pool_must_start_within_the_bounds(self, devices, bounds):
+        with pytest.raises(ValueError, match="autoscale bounds"):
+            ServingConfig(model="toy", devices=devices, autoscale=bounds)
+
+    def test_fixed_pool_by_default(self):
+        service = toy_service()
+        report = service.run(bursty_traffic())
+        assert report.scale_events == []
+        assert len(service.pool.workers) == 1
+
+
+class TestElasticFleet:
+    def test_fleet_bounds_enable_autoscaling(self):
+        fleet = FleetSpec.parse("v100:2").bounded(1, 4)
+        config = ServingConfig(model="toy", fleet=fleet)
+        assert config.autoscale == AutoscaleConfig(min_workers=1, max_workers=4)
+        assert fleet.is_elastic
+
+    def test_fleet_without_bounds_stays_fixed(self):
+        config = ServingConfig(model="toy", fleet="v100:2")
+        assert config.autoscale is None
+
+    def test_bounds_must_bracket_the_declared_size(self):
+        with pytest.raises(ValueError):
+            FleetSpec.parse("v100:2").bounded(3, 4)
+
+    def test_bounds_come_in_pairs(self):
+        with pytest.raises(ValueError):
+            FleetSpec(groups=(("v100", 2),), min_workers=1)
+
+    def test_autoscaler_spawns_the_primary_device(self):
+        fleet = FleetSpec.parse("k80:1,v100:1").bounded(1, 3)
+        service = toy_service(fleet=fleet)
+        assert service.autoscaler.device == get_device("k80")
+
+    def test_scale_down_preserves_the_declared_fleet_composition(self, k80, v100):
+        # Scale-up can only recreate the spawn device, so scale-down must
+        # retire spawned workers first and never strip the declared v100s
+        # while a spawned k80 is available.
+        from repro.serve import Autoscaler
+
+        pool = WorkerPool([k80, v100, v100])
+        spawned = pool.add_worker(k80, now_ms=5.0)
+
+        class IdleState:
+            now_ms = 10.0
+            pending_samples = 0
+
+        IdleState.pool = pool
+        scaler = Autoscaler(
+            AutoscaleConfig(min_workers=1, max_workers=4), device=k80
+        )
+        events = scaler.evaluate(IdleState())
+        assert [event.worker_id for event in events] == [spawned.worker_id]
+        assert sorted(w.device.name for w in pool.workers) == [
+            "k80", "v100", "v100"
+        ]
+
+    def test_scale_up_revives_lost_declared_capacity_first(self, k80, v100):
+        from repro.serve import Autoscaler
+
+        pool = WorkerPool([k80, v100])
+        scaler = Autoscaler(
+            AutoscaleConfig(min_workers=1, max_workers=3), device=k80
+        )
+
+        class State:
+            pool = None
+            now_ms = 0.0
+            pending_samples = 0
+
+        State.pool = pool
+        # Mild backlog: the snapshot check neither grows nor shrinks.
+        for worker in pool.workers:
+            worker.busy_until_ms = 5.0
+        scaler.evaluate(State())  # snapshot the declared composition
+        # The declared v100 idles away...
+        State.now_ms = 10.0
+        pool.remove_worker(pool.workers[1], now_ms=10.0)
+        # ...then load returns: the first scale-up revives the v100, the
+        # next one spawns the primary k80.
+        State.now_ms = 20.0
+        for worker in pool.workers:
+            worker.busy_until_ms = 1e6
+        first = scaler.evaluate(State())
+        second = scaler.evaluate(State())
+        assert [event.device for event in first + second] == ["v100", "k80"]

@@ -4,20 +4,39 @@ from __future__ import annotations
 
 import pytest
 
-from repro.serve import InferenceRequest, RequestRecord, build_report, percentile
+from repro.serve import (
+    InferenceRequest,
+    LatencySummary,
+    RejectedRequest,
+    RequestRecord,
+    build_report,
+    build_slo_summary,
+    percentile,
+)
 from repro.serve.registry import RegistryStats
 
 
 def record(request_id: int, arrival: float, completed: float,
-           dispatched: float | None = None) -> RequestRecord:
+           dispatched: float | None = None, **request_kwargs) -> RequestRecord:
     dispatched = arrival if dispatched is None else dispatched
     return RequestRecord(
-        request=InferenceRequest(request_id=request_id, model="m", arrival_ms=arrival),
+        request=InferenceRequest(request_id=request_id, model="m",
+                                 arrival_ms=arrival, **request_kwargs),
         batched_ms=dispatched,
         dispatch_ms=dispatched,
         completion_ms=completed,
         executed_batch_size=1,
         worker_id=0,
+    )
+
+
+def rejection(request_id: int, arrival: float, reason: str = "shed",
+              **request_kwargs) -> RejectedRequest:
+    return RejectedRequest(
+        request=InferenceRequest(request_id=request_id, model="m",
+                                 arrival_ms=arrival, **request_kwargs),
+        rejected_ms=arrival,
+        reason=reason,
     )
 
 
@@ -83,3 +102,90 @@ class TestBuildReport:
         with pytest.raises(ValueError):
             build_report([], num_batches=0, batch_size_counts={},
                          registry_stats=RegistryStats(), worker_summary=[])
+
+    def test_no_slo_summary_without_slo_signals(self):
+        report = build_report([record(0, 0.0, 2.0)], num_batches=1,
+                              batch_size_counts={1: 1},
+                              registry_stats=RegistryStats(), worker_summary=[])
+        assert report.slo_summary is None
+
+    def test_all_rejected_run_builds_an_empty_latency_report(self):
+        report = build_report(
+            [], num_batches=0, batch_size_counts={},
+            registry_stats=RegistryStats(), worker_summary=[],
+            rejected=[rejection(0, 0.0), rejection(1, 1.0)],
+        )
+        assert report.num_requests == 0
+        assert report.latency == LatencySummary.empty()
+        assert report.slo_summary.offered == 2
+        assert report.slo_summary.rejected == 2
+        assert report.slo_summary.attainment_rate == 0.0
+
+
+class TestSloSummary:
+    def test_attainment_counts_rejections_as_misses(self):
+        records = [
+            record(0, 0.0, 5.0, deadline_ms=10.0),   # met
+            record(1, 0.0, 20.0, deadline_ms=10.0),  # violated
+            record(2, 0.0, 5.0),                     # no SLO: counts as met
+        ]
+        rejected = [rejection(3, 0.0, deadline_ms=10.0)]
+        slo = build_slo_summary(records, rejected)
+        assert slo.offered == 4
+        assert slo.admitted == 3
+        assert slo.rejected == 1
+        assert slo.met == 2
+        assert slo.violations == 1
+        assert slo.with_deadline == 2
+        assert slo.attainment_rate == pytest.approx(0.5)
+
+    def test_rejection_reasons_are_tallied(self):
+        slo = build_slo_summary([], [
+            rejection(0, 0.0, reason="predicted-deadline-miss"),
+            rejection(1, 0.0, reason="predicted-deadline-miss"),
+            rejection(2, 0.0, reason="low-priority-shed"),
+        ])
+        assert slo.rejection_reasons == {
+            "predicted-deadline-miss": 2,
+            "low-priority-shed": 1,
+        }
+
+    def test_per_priority_breakdown_is_highest_first(self):
+        records = [
+            record(0, 0.0, 5.0, deadline_ms=10.0, priority=1),
+            record(1, 0.0, 20.0, deadline_ms=10.0, priority=0),
+        ]
+        rejected = [rejection(2, 0.0, deadline_ms=10.0, priority=0)]
+        slo = build_slo_summary(records, rejected)
+        assert [row.priority for row in slo.per_priority] == [1, 0]
+        high, low = slo.per_priority
+        assert (high.offered, high.met, high.attainment) == (1, 1, 1.0)
+        assert (low.offered, low.met, low.attainment) == (2, 0, 0.0)
+        assert low.rejected == 1
+
+    def test_per_burst_breakdown(self):
+        records = [
+            record(0, 0.0, 5.0, deadline_ms=10.0, burst_id=0),
+            record(1, 0.0, 30.0, deadline_ms=10.0, burst_id=1),
+        ]
+        rejected = [rejection(2, 0.0, deadline_ms=10.0, burst_id=1)]
+        slo = build_slo_summary(records, rejected)
+        assert [row.burst_id for row in slo.per_burst] == [0, 1]
+        first, second = slo.per_burst
+        assert first.attainment == 1.0
+        assert second.offered == 2
+        assert second.attainment == 0.0
+
+    def test_describe_mentions_attainment_and_rejections(self):
+        slo = build_slo_summary(
+            [record(0, 0.0, 5.0, deadline_ms=10.0)],
+            [rejection(1, 0.0, reason="predicted-deadline-miss")],
+        )
+        text = slo.describe()
+        assert "1/2 met" in text
+        assert "predicted-deadline-miss×1" in text
+
+    def test_deadline_met_property(self):
+        assert record(0, 0.0, 5.0, deadline_ms=10.0).deadline_met
+        assert not record(0, 0.0, 15.0, deadline_ms=10.0).deadline_met
+        assert record(0, 0.0, 1e9).deadline_met  # no SLO is never violated

@@ -9,6 +9,7 @@ import pytest
 from repro.serve import (
     TrafficConfig,
     TrafficGenerator,
+    bursty_arrival_bursts,
     bursty_arrivals,
     poisson_arrivals,
     uniform_arrivals,
@@ -57,6 +58,31 @@ class TestArrivalProcesses:
         arrivals = uniform_arrivals(5, rate_rps=1000.0, rng=random.Random(0))
         assert arrivals == [0.0, 1.0, 2.0, 3.0, 4.0]
 
+    def test_burst_ids_label_whole_bursts(self):
+        pairs = bursty_arrival_bursts(
+            60, burst_size=10, burst_gap_ms=100.0, rng=random.Random(1)
+        )
+        ids = [burst_id for _, burst_id in pairs]
+        assert ids == sorted(ids)
+        assert set(ids) == set(range(6))
+        assert all(ids.count(burst_id) == 10 for burst_id in set(ids))
+
+    def test_burst_ids_flip_exactly_at_the_large_gaps(self):
+        pairs = bursty_arrival_bursts(
+            60, burst_size=10, burst_gap_ms=100.0, rng=random.Random(1)
+        )
+        for (a_time, a_id), (b_time, b_id) in zip(pairs, pairs[1:]):
+            if b_id != a_id:
+                assert b_time - a_time > 10.0
+            else:
+                assert b_time - a_time < 10.0
+
+    def test_bursty_arrivals_is_the_times_view_of_the_pairs(self):
+        kwargs = dict(num_requests=40, burst_size=8, burst_gap_ms=20.0)
+        flat = bursty_arrivals(rng=random.Random(9), **kwargs)
+        pairs = bursty_arrival_bursts(rng=random.Random(9), **kwargs)
+        assert flat == [arrival for arrival, _ in pairs]
+
 
 class TestTrafficGenerator:
     def test_generates_requested_count_in_order(self):
@@ -101,11 +127,56 @@ class TestTrafficGenerator:
         with pytest.raises(ValueError):
             config.capped_to(2)
 
+    def test_bursty_requests_carry_their_burst_id(self):
+        config = TrafficConfig(model="toy", pattern="bursty", num_requests=50,
+                               burst_size=10, burst_gap_ms=100.0, seed=1)
+        requests = TrafficGenerator(config).generate()
+        ids = [r.burst_id for r in requests]
+        assert None not in ids
+        assert set(ids) == set(range(5))
+
+    def test_non_bursty_requests_have_no_burst_id(self):
+        for pattern in ("poisson", "uniform"):
+            config = TrafficConfig(model="toy", pattern=pattern, num_requests=20)
+            assert all(
+                r.burst_id is None for r in TrafficGenerator(config).generate()
+            )
+
+    def test_slo_attaches_the_deadline_budget(self):
+        config = TrafficConfig(model="toy", num_requests=20, slo_ms=30.0)
+        requests = TrafficGenerator(config).generate()
+        assert all(r.deadline_ms == 30.0 for r in requests)
+        assert all(
+            r.absolute_deadline_ms == r.arrival_ms + 30.0 for r in requests
+        )
+
+    def test_with_slo_copies_the_config(self):
+        base = TrafficConfig(model="toy", num_requests=20)
+        assert base.slo_ms is None
+        assert base.with_slo(10.0).slo_ms == 10.0
+
+    def test_priority_mix_draws_all_classes(self):
+        config = TrafficConfig(model="toy", num_requests=200,
+                               priorities=(0, 1, 2),
+                               priority_weights=(0.6, 0.3, 0.1), seed=3)
+        priorities = {r.priority for r in TrafficGenerator(config).generate()}
+        assert priorities == {0, 1, 2}
+
+    def test_single_priority_class_draws_no_randomness(self):
+        # Adding the (default) priority knobs must not perturb the arrival
+        # and sample-size streams of pre-SLO configs.
+        base = TrafficConfig(model="toy", num_requests=50, seed=7)
+        requests = TrafficGenerator(base).generate()
+        assert all(r.priority == 0 for r in requests)
+
     @pytest.mark.parametrize("kwargs", [
         {"pattern": "zipf"},
         {"num_requests": 0},
         {"sample_sizes": (1, 2), "sample_weights": (1.0,)},
         {"sample_sizes": ()},
+        {"slo_ms": -1.0},
+        {"priorities": (0, 1), "priority_weights": (1.0,)},
+        {"priorities": ()},
     ])
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ValueError):

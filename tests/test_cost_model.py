@@ -16,7 +16,7 @@ from repro.core import (
     sequential_schedule,
     stage_to_execution,
 )
-from repro.models import figure2_block, figure3_graph
+from repro.models import figure2_block
 from repro.runtime import Executor
 
 CONCURRENT = ParallelizationStrategy.CONCURRENT

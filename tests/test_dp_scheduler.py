@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from itertools import permutations
 
 import pytest
 
@@ -18,7 +17,6 @@ from repro.core import (
     schedule_latency_ms,
     sequential_schedule,
 )
-from repro.core.schedule import Schedule, Stage
 from repro.models import build_model, chain_graph, diamond_graph, figure2_block, figure5_graph
 
 

@@ -12,7 +12,7 @@ from repro.ir import (
     graph_from_dict,
     graph_to_dict,
 )
-from repro.models import build_model, diamond_graph
+from repro.models import build_model
 
 
 def small_graph(name="g", *, swap_branches=False, rename=False, channels=8):

@@ -23,7 +23,7 @@ from repro.ir import (
     save_graph,
     validate_graph,
 )
-from repro.models import diamond_graph, figure2_block
+from repro.models import figure2_block
 
 
 class TestGraphBuilder:
@@ -146,7 +146,7 @@ class TestValidation:
         with builder.block("b1"):
             a = builder.conv2d("a", builder.input_name, 8, 3)
         with builder.block("b2"):
-            b = builder.conv2d("b", a, 8, 3)
+            builder.conv2d("b", a, 8, 3)
         graph = builder.graph
         # Force an edge from block b2 back into block b1.
         graph.blocks[0], graph.blocks[1] = graph.blocks[1], graph.blocks[0]

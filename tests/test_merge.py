@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import MergeError, build_merged_operator, can_merge, why_not_mergeable
 from repro.ir import Conv2d, GraphBuilder, TensorShape
-from repro.models import build_model, figure2_block, figure3_graph
+from repro.models import build_model, figure2_block
 
 
 @pytest.fixture

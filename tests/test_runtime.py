@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ir.tensor import TensorShape
-from repro.models import build_model, diamond_graph, figure2_block
+from repro.models import build_model, figure2_block
 from repro.runtime import (
     ExecutionPlan,
     ExecutionStage,

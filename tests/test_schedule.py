@@ -13,7 +13,7 @@ from repro.core import (
     greedy_schedule,
     sequential_schedule,
 )
-from repro.models import build_model, figure2_block, figure3_graph
+from repro.models import build_model, figure2_block
 
 
 class TestStage:

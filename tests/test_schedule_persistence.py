@@ -22,7 +22,7 @@ from repro.core import (
     Stage,
     schedule_latency_ms,
 )
-from repro.models import build_model, figure2_block
+from repro.models import build_model
 
 
 def optimize(graph, device, variant="ios-both"):

@@ -41,7 +41,7 @@ def test_valid_graph_passes():
 class TestInvariant1Placeholders:
     def test_zero_placeholders(self):
         graph = Graph("empty")
-        block = graph.add_block("blk")
+        graph.add_block("blk")
         with pytest.raises(GraphValidationError, match="exactly one input placeholder"):
             validate_graph(graph)
 
