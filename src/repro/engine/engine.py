@@ -38,6 +38,7 @@ from ..hardware.device import DeviceSpec, get_device
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
+from ..obs.trace import NULL_TRACER, Tracer
 from .compiled import CompiledModel, CompileStats, StageTiming
 from .stages import apply_passes, graph_identity
 
@@ -93,6 +94,13 @@ class Engine:
         Inject a pre-built :class:`~repro.core.IOSScheduler` (tests and the
         serve registry's ``scheduler_factory`` use this); its config becomes
         the engine's config.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; each compile then records its
+        Graph → Schedule → Plan stages as wall-clock spans on the
+        ``compile/stages`` track (pass iterations land on ``compile/passes``).
+        The default :data:`~repro.obs.trace.NULL_TRACER` records nothing and
+        costs one truth test per compile.  The attribute is mutable — the
+        serving registry re-points pooled engines at the run's tracer.
 
     Example::
 
@@ -115,10 +123,12 @@ class Engine:
         config: SchedulerConfig | None = None,
         profile: KernelProfile = CUDNN_PROFILE,
         scheduler: IOSScheduler | None = None,
+        tracer: Tracer | None = None,
     ):
         self.device = get_device(device) if isinstance(device, str) else device
         self.profile = profile
         self.passes = passes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if scheduler is not None:
             if config is not None or variant is not None or pruning is not None:
                 raise ValueError("pass either scheduler= or config=/variant=/pruning=, not both")
@@ -153,69 +163,79 @@ class Engine:
         Cache hits return the previously compiled model object — treat it as
         immutable, exactly like a built model graph.
         """
+        tracer = self.tracer
         key = graph_identity(graph)
         if use_cache:
             cached = self._cache.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
+                if tracer:
+                    tracer.instant(
+                        "compile-cache-hit", "compile/stages", category="compile",
+                        args={"graph": graph.name, "device": self.device.name},
+                    )
                 return cached
 
         timings: list[StageTiming] = []
         operators_in = len(graph.schedulable_names())
 
         # Stage 1: Graph -> optimized Graph.
+        span_start = tracer.now_ms() if tracer else 0.0
         start = time.perf_counter()
-        optimized, pass_stats = apply_passes(graph, self.passes)
+        optimized, pass_stats = apply_passes(graph, self.passes, tracer=tracer)
         operators_out = (
             len(optimized.schedulable_names()) if optimized is not graph else operators_in
         )
-        timings.append(
-            StageTiming(
-                "passes",
-                time.perf_counter() - start,
-                {
-                    "enabled": bool(self.passes),
-                    "operators_in": operators_in,
-                    "operators_out": operators_out,
-                    "rewrites": sum(s.rewrites for s in pass_stats) if pass_stats else 0,
-                },
+        details = {
+            "enabled": bool(self.passes),
+            "operators_in": operators_in,
+            "operators_out": operators_out,
+            "rewrites": sum(s.rewrites for s in pass_stats) if pass_stats else 0,
+        }
+        timings.append(StageTiming("passes", time.perf_counter() - start, details))
+        if tracer:
+            tracer.add_span(
+                "passes", "compile/stages", span_start, tracer.now_ms(),
+                category="compile", args={"graph": graph.name, **details},
             )
-        )
 
         # Stage 2: optimized Graph -> Schedule (the DP search).
         cost_model = self.cost_model
         measurements_before = getattr(cost_model, "num_measurements", 0)
         profiler = getattr(cost_model, "profiler", None)
         gpu_ms_before = getattr(profiler, "total_profiling_ms", 0.0)
+        span_start = tracer.now_ms() if tracer else 0.0
         start = time.perf_counter()
         result = self.scheduler.optimize_graph(optimized)
         if pass_stats is not None:
             result.pass_stats = pass_stats
         num_measurements = getattr(cost_model, "num_measurements", 0) - measurements_before
         profiling_gpu_ms = getattr(profiler, "total_profiling_ms", 0.0) - gpu_ms_before
-        timings.append(
-            StageTiming(
-                "schedule",
-                time.perf_counter() - start,
-                {
-                    "blocks": len(result.block_stats),
-                    "transitions": result.total_transitions,
-                    "measurements": num_measurements,
-                    "predicted_latency_ms": result.predicted_latency_ms,
-                },
+        details = {
+            "blocks": len(result.block_stats),
+            "transitions": result.total_transitions,
+            "measurements": num_measurements,
+            "predicted_latency_ms": result.predicted_latency_ms,
+        }
+        timings.append(StageTiming("schedule", time.perf_counter() - start, details))
+        if tracer:
+            tracer.add_span(
+                "schedule", "compile/stages", span_start, tracer.now_ms(),
+                category="compile",
+                args={"graph": graph.name, "device": self.device.name, **details},
             )
-        )
 
         # Stage 3: Schedule -> ExecutionPlan.
+        span_start = tracer.now_ms() if tracer else 0.0
         start = time.perf_counter()
         plan = lower_schedule(optimized, result.schedule)
-        timings.append(
-            StageTiming(
-                "lower",
-                time.perf_counter() - start,
-                {"stages": plan.num_stages(), "kernel_operators": plan.num_kernel_operators()},
+        details = {"stages": plan.num_stages(), "kernel_operators": plan.num_kernel_operators()}
+        timings.append(StageTiming("lower", time.perf_counter() - start, details))
+        if tracer:
+            tracer.add_span(
+                "lower", "compile/stages", span_start, tracer.now_ms(),
+                category="compile", args={"graph": graph.name, **details},
             )
-        )
 
         source_fingerprint = key[2]
         stats = CompileStats(

@@ -20,7 +20,7 @@ from ..ir.graph import Graph
 __all__ = ["apply_passes", "node_digest", "graph_identity"]
 
 
-def apply_passes(graph: Graph, passes) -> tuple[Graph, list | None]:
+def apply_passes(graph: Graph, passes, *, tracer=None) -> tuple[Graph, list | None]:
     """The pass stage: optionally rewrite ``graph`` before scheduling.
 
     ``passes`` follows the convention used everywhere in the system: ``False``
@@ -28,7 +28,8 @@ def apply_passes(graph: Graph, passes) -> tuple[Graph, list | None]:
     runs :func:`repro.passes.default_pipeline`, and a
     :class:`~repro.passes.PassManager` (or list of pass names) runs that
     pipeline instead.  Returns ``(graph, pass_stats)`` where ``pass_stats`` is
-    ``None`` when no pipeline ran.
+    ``None`` when no pipeline ran.  A truthy ``tracer`` records one span per
+    pipeline iteration on the ``compile/passes`` track.
 
     Results are memoised per graph fingerprint by
     :func:`repro.passes.optimize_graph`, so repeated calls on the same
@@ -39,7 +40,7 @@ def apply_passes(graph: Graph, passes) -> tuple[Graph, list | None]:
     # Imported lazily so the engine stays importable without repro.passes.
     from ..passes import optimize_graph
 
-    result = optimize_graph(graph, None if passes is True else passes)
+    result = optimize_graph(graph, None if passes is True else passes, tracer=tracer)
     return result.graph, result.stats
 
 

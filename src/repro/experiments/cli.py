@@ -19,6 +19,8 @@ figures reuse the cache.  Examples::
     ios-bench serve --fleet k80:2,v100:4 --compare   # fleet-comparison table
     ios-bench serve --slo 20 --admission deadline --autoscale 1:3
     ios-bench serve --slo 20 --compare               # admission-policy table
+    ios-bench serve --trace trace.json --metrics metrics.json
+    ios-bench trace trace.json                       # validate + summarise
 """
 
 from __future__ import annotations
@@ -47,7 +49,7 @@ from .tab02_networks import run_table2
 from .tab03_specialization import run_table3_batch, run_table3_device
 from .tables import ExperimentTable
 
-__all__ = ["main", "serve_main", "EXPERIMENTS", "QUICK_MODELS"]
+__all__ = ["main", "serve_main", "trace_main", "EXPERIMENTS", "QUICK_MODELS"]
 
 #: Model subset used with ``--quick`` (fast enough for CI smoke runs).
 QUICK_MODELS = ["inception_v3", "squeezenet"]
@@ -191,6 +193,13 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="print the dynamic-vs-unbatched comparison table instead")
     parser.add_argument("--csv-dir", default=None,
                         help="directory to write the comparison CSV to (with --compare)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record the run and write a Chrome-trace/Perfetto JSON "
+                        "(compile stages, request lifecycles, per-worker kernel "
+                        "activity); the report itself is unchanged")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write the run's metrics-registry snapshot as JSON "
+                        "(counters, gauges, histogram quantiles)")
     args = parser.parse_args(argv)
 
     if args.requests <= 0:
@@ -248,6 +257,9 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.csv_dir is not None and not args.compare:
         print("note: --csv-dir only writes the --compare table; ignoring it",
               file=sys.stderr)
+    if args.compare and (args.trace is not None or args.metrics is not None):
+        print("note: --trace/--metrics record a single run; ignoring them "
+              "with --compare", file=sys.stderr)
     if args.compare:
         if args.no_batching:
             parser.error("--no-batching conflicts with --compare "
@@ -346,8 +358,92 @@ def serve_main(argv: list[str] | None = None) -> int:
             passes=args.passes, router=args.router, admission=args.admission,
             autoscale=autoscale, **pool,
         )
-    report = run_serving(traffic, serving)
+    tracer = None
+    if args.trace is not None:
+        from ..obs import Tracer
+
+        tracer = Tracer()
+    report = run_serving(traffic, serving, tracer=tracer)
     print(report.describe())
+    if tracer is not None:
+        from ..obs import write_chrome_trace
+
+        path = write_chrome_trace(tracer, args.trace)
+        print(f"wrote {path} ({len(tracer)} records; open in ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.metrics is not None and report.metrics is not None:
+        metrics_path = report.metrics.write(args.metrics)
+        print(f"wrote {metrics_path}", file=sys.stderr)
+    return 0
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``ios-bench trace`` subcommand.
+
+    Validates a Chrome-trace JSON file (as written by ``ios-bench serve
+    --trace``) against the exporter's schema and prints a compact summary:
+    event counts per phase, the traced time extent, and the track layout.
+    """
+    import json
+    from collections import Counter
+
+    from ..obs import validate_chrome_trace
+
+    parser = argparse.ArgumentParser(
+        prog="ios-bench trace",
+        description="Validate and summarise a Chrome-trace/Perfetto JSON file "
+        "written by 'ios-bench serve --trace'.",
+    )
+    parser.add_argument("path", help="trace JSON file to inspect")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only report validity, no summary")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"error: {args.path} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+
+    problems = validate_chrome_trace(data)
+    if problems:
+        print(f"{args.path}: INVALID — {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+
+    print(f"{args.path}: OK")
+    if args.quiet:
+        return 0
+    events = data["traceEvents"]
+    phases = Counter(event["ph"] for event in events)
+    timed = [event for event in events if event["ph"] != "M"]
+    start_us = min(event["ts"] for event in timed)
+    end_us = max(event["ts"] + event.get("dur", 0.0) for event in timed)
+    print(f"  events: {len(events)} (spans={phases.get('X', 0)}, "
+          f"instants={phases.get('i', 0)}, counters={phases.get('C', 0)}, "
+          f"async={phases.get('b', 0) + phases.get('e', 0)}, "
+          f"metadata={phases.get('M', 0)})")
+    print(f"  extent: {start_us / 1e3:.3f} .. {end_us / 1e3:.3f} ms")
+    # Rebuild the row layout from the metadata events, in emitted order.
+    process_names = {
+        event["pid"]: event["args"]["name"]
+        for event in events
+        if event["ph"] == "M" and event["name"] == "process_name"
+    }
+    rows = Counter(
+        (event["pid"], event["tid"]) for event in timed
+    )
+    print(f"  tracks: {sum(1 for e in events if e['ph'] == 'M' and e['name'] == 'thread_name')}")
+    for event in events:
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            process = process_names.get(event["pid"], f"pid {event['pid']}")
+            count = rows.get((event["pid"], event["tid"]), 0)
+            print(f"    {process}/{event['args']['name']}: {count} events")
     return 0
 
 
@@ -356,12 +452,16 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["serve"]:
         return serve_main(argv[1:])
+    if argv[:1] == ["trace"]:
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ios-bench",
         description="Reproduce tables and figures of 'IOS: Inter-Operator Scheduler for CNN "
         "Acceleration' on the simulated GPU.",
         epilog="'ios-bench serve ...' (subcommand first) runs the inference "
-        "service instead of an experiment: ios-bench serve --help",
+        "service instead of an experiment (ios-bench serve --help); "
+        "'ios-bench trace FILE' validates and summarises a trace JSON "
+        "written by 'ios-bench serve --trace'.",
     )
     parser.add_argument(
         "experiment",

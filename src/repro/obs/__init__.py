@@ -1,0 +1,51 @@
+"""Observability: span tracing, a metrics registry, and trace exporters.
+
+One subsystem correlates what used to be three disjoint sets of numbers —
+engine :class:`~repro.engine.engine.StageTiming`, serving
+:class:`~repro.serve.metrics.ServingReport`, and runtime
+:class:`~repro.runtime.events.KernelEvent` records:
+
+* :mod:`repro.obs.trace` — the span tracer.  Threaded through the engine's
+  compile stages, the pass pipeline, and the serving loop, it records one
+  timeline from a request's arrival down to the kernel/stream placement that
+  served it.  Disabled tracing is a falsy no-op (:data:`NULL_TRACER`).
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms with
+  deterministic snapshots; the single home of a serving run's tallies.
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON rendering plus the
+  schema checker behind ``ios-bench trace`` and CI's trace-smoke job.
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import (
+    HISTOGRAM_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    quantiles_reference,
+)
+from .trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "HISTOGRAM_QUANTILES",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NullTracer",
+    "TraceRecord",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "quantiles_reference",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 from ..ir.graph import Graph
 from ..ir.validate import GraphValidationError, validate_graph
+from ..obs.trace import NULL_TRACER, Tracer
 
 __all__ = [
     "GraphPass",
@@ -192,8 +193,13 @@ class PassManager:
             self.validate,
         )
 
-    def run(self, graph: Graph) -> PassResult:
-        """Run the pipeline on ``graph`` and return the rewritten graph + stats."""
+    def run(self, graph: Graph, *, tracer: Tracer = NULL_TRACER) -> PassResult:
+        """Run the pipeline on ``graph`` and return the rewritten graph + stats.
+
+        With a truthy ``tracer`` every pipeline iteration becomes one span on
+        the ``compile/passes`` track, with a nested span per pass run; the
+        default :data:`~repro.obs.trace.NULL_TRACER` costs one truth test.
+        """
         start = time.perf_counter()
         stats = {p.name: PassStats(name=p.name) for p in self.passes}
         current = graph
@@ -207,13 +213,22 @@ class PassManager:
                     f"{list(self.pass_names)} is oscillating"
                 )
             iteration_rewrites = 0
+            iteration_start_ms = tracer.now_ms() if tracer else 0.0
             for pass_ in self.passes:
+                span_start_ms = tracer.now_ms() if tracer else 0.0
                 pass_start = time.perf_counter()
                 rewritten, rewrites = pass_.run(current)
                 stat = stats[pass_.name]
                 stat.runs += 1
                 stat.rewrites += rewrites
                 stat.elapsed_s += time.perf_counter() - pass_start
+                if tracer:
+                    tracer.add_span(
+                        pass_.name, "compile/passes", span_start_ms, tracer.now_ms(),
+                        category="passes",
+                        args={"graph": graph.name, "iteration": iterations,
+                              "rewrites": rewrites},
+                    )
                 if rewrites:
                     if self.validate:
                         try:
@@ -225,6 +240,12 @@ class PassManager:
                             ) from exc
                     current = rewritten
                     iteration_rewrites += rewrites
+            if tracer:
+                tracer.add_span(
+                    f"iteration {iterations}", "compile/passes",
+                    iteration_start_ms, tracer.now_ms(), category="passes",
+                    args={"graph": graph.name, "rewrites": iteration_rewrites},
+                )
             if iteration_rewrites == 0 or not self.fixed_point:
                 break
         return PassResult(

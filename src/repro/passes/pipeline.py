@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
+from ..obs.trace import NULL_TRACER
 from .base import GraphPass, PassManager, PassResult
 from . import rewrites as _rewrites  # noqa: F401  (registers the built-in passes)
 
@@ -61,6 +62,7 @@ def optimize_graph(
     passes: PassManager | list[GraphPass | str] | None = None,
     *,
     cache: bool = True,
+    tracer=None,
 ) -> PassResult:
     """Run a pass pipeline (default: :func:`default_pipeline`) on ``graph``.
 
@@ -75,8 +77,10 @@ def optimize_graph(
         manager = passes
     else:
         manager = PassManager(list(passes))
+    if tracer is None:
+        tracer = NULL_TRACER
     if not cache:
-        return manager.run(graph)
+        return manager.run(graph, tracer=tracer)
     key = (
         graph.name,
         hash(tuple(graph.nodes.keys())),
@@ -85,6 +89,11 @@ def optimize_graph(
     )
     result = _PASS_CACHE.get(key)
     if result is None:
-        result = manager.run(graph)
+        result = manager.run(graph, tracer=tracer)
         _PASS_CACHE[key] = result
+    elif tracer:
+        tracer.instant(
+            "pass-cache-hit", "compile/passes", category="passes",
+            args={"graph": graph.name},
+        )
     return result

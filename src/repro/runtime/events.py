@@ -2,14 +2,16 @@
 
 The executor reports what happened during a simulated inference as a list of
 events; experiments (e.g. the active-warp study of Figure 8) and debugging
-tools consume them.
+tools consume them.  :func:`add_execution_spans` replays a cached execution's
+events into a :class:`~repro.obs.Tracer`, so a serving trace shows each
+dispatched batch down to its kernel/stream placement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["StageEvent", "KernelEvent"]
+__all__ = ["StageEvent", "KernelEvent", "add_execution_spans"]
 
 
 @dataclass(frozen=True)
@@ -53,3 +55,36 @@ class StageEvent:
         if self.duration_ms <= 0:
             return 0.0
         return (self.flops / (self.duration_ms / 1e3)) / 1e12
+
+
+def add_execution_spans(tracer, result, track_prefix: str, offset_ms: float) -> None:
+    """Replay an execution's stage/kernel events as child spans of a dispatch.
+
+    ``result`` is anything exposing ``stage_events()`` / ``kernel_events()``
+    (an :class:`~repro.runtime.executor.ExecutionResult`; duck-typed to avoid
+    an import cycle).  Event times are plan-local, so ``offset_ms`` — the
+    dispatch's start on the virtual clock — re-bases them; the worker pool
+    memoises one simulated execution per plan, and every dispatch of that
+    plan replays the same events at its own start time.  Stage spans land on
+    ``"<track_prefix>/stages"``; kernels go to one ``"<track_prefix>/stream
+    N"`` track per stream, where concurrent kernels of a stage overlap
+    without colliding.
+    """
+    for event in result.stage_events():
+        tracer.add_span(
+            event.label, f"{track_prefix}/stages",
+            offset_ms + event.start_ms, offset_ms + event.end_ms,
+            category="stage",
+            args={
+                "strategy": event.strategy,
+                "groups": event.num_groups,
+                "kernels": event.num_kernels,
+                "gflops": event.gflops,
+            },
+        )
+    for event in result.kernel_events():
+        tracer.add_span(
+            event.kernel_name, f"{track_prefix}/stream {event.stream}",
+            offset_ms + event.start_ms, offset_ms + event.end_ms,
+            category="kernel", args={"stage": event.stage_index},
+        )

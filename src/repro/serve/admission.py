@@ -15,10 +15,12 @@ request behind it.  :class:`AdmissionPolicy` is the pluggable gate the
 * :class:`PriorityAdmission` — priority-preemptive queueing: dispatch order
   follows ``InferenceRequest.priority`` (ties FIFO), a high-priority arrival
   whose deadline demands it closes the forming batch on the spot, and
-  predicted misses are shed in every class — but queue-jumping and
-  preemption give the high classes earlier predicted (and real)
-  completions, so the lowest class sheds first and the important traffic
-  sheds last.
+  predicted misses are shed in every class — with a *protection margin*
+  that makes classes below the top one yield admission headroom: a
+  below-top request must be predicted to finish with spare budget
+  proportional to its class distance from the top, so under contention the
+  low classes shed first and the freed capacity serves the important
+  traffic.
 
 Policies never measure a device themselves: they see a
 :class:`~repro.serve.loop.LoopState` view of the loop (virtual time, queue
@@ -161,16 +163,32 @@ class PriorityAdmission(DeadlineAwareAdmission):
     flushes the forming batch so the important request does not sit behind
     it.  Shedding inherits the deadline prediction of
     :class:`DeadlineAwareAdmission` for every class — overload beyond
-    capacity must be shed whoever carries it — but because high-priority
-    requests jump the queue, their predicted (and real) completion is
-    earlier, so the low classes shed first and the important traffic keeps
-    the highest attainment.
+    capacity must be shed whoever carries it — tightened by a *protection
+    margin* for the classes below the top one.
+
+    Queue-jumping alone does not protect the high class under deep
+    overload: once the worker horizons (not the batching wait) are the
+    binding term of the prediction, every class predicts the same miss and
+    sheds at the same rate.  The margin restores the asymmetry where it
+    matters — at the admission gate.  A request ``levels`` classes below
+    the top class seen this run is admitted only when predicted to finish
+    with ``protection * levels`` of its latency budget to spare (capped at
+    ``MAX_PROTECTION``), so marginal low-priority arrivals are shed first
+    and the capacity they would have consumed serves the top class.  The
+    top class itself, and every request while only one class has been
+    seen, admits exactly as :class:`DeadlineAwareAdmission` would.
     """
 
     name = "priority"
 
-    def __init__(self, slack_ms: float = 0.0):
+    #: Cap on the protection margin, as a fraction of the request's budget:
+    #: even a deeply subordinate class keeps a sliver of admission chance
+    #: when the pool is idle and its budget generous.
+    MAX_PROTECTION = 0.75
+
+    def __init__(self, slack_ms: float = 0.0, protection: float = 0.25):
         super().__init__(slack_ms=slack_ms)
+        self.protection = protection
         self._highest_queued: int | None = None
         self._highest_seen: int | None = None
         #: (request_id, needs_preemption) of the last admit() verdict — the
@@ -209,6 +227,28 @@ class PriorityAdmission(DeadlineAwareAdmission):
     def order_key(self, request: InferenceRequest):
         """Rank by priority (descending), then FIFO within a class."""
         return (-request.priority, request.arrival_ms, request.request_id)
+
+    def _predicted_to_meet(self, request: InferenceRequest, state: "LoopState",
+                           skip_wait: bool = False) -> bool:
+        """Deadline prediction, tightened by the class-protection margin."""
+        if request.deadline_ms is None:
+            return True
+        predicted = state.predicted_completion_ms(request, immediate=skip_wait)
+        margin = self._protection_margin_ms(request)
+        return predicted <= request.absolute_deadline_ms + self.slack_ms - margin
+
+    def _protection_margin_ms(self, request: InferenceRequest) -> float:
+        """Spare budget a below-top-class request must be predicted to keep.
+
+        Zero for the top class seen so far (and while only one class has
+        been seen), ``protection`` of the latency budget per class level
+        below the top otherwise, capped at ``MAX_PROTECTION``.
+        """
+        top = self._highest_seen
+        if top is None or request.priority >= top or request.deadline_ms is None:
+            return 0.0
+        fraction = min(self.protection * (top - request.priority), self.MAX_PROTECTION)
+        return fraction * request.deadline_ms
 
     def preempts(self, request: InferenceRequest, state: "LoopState") -> bool:
         """Expedite a higher-priority arrival when the batching wait costs its SLO.

@@ -22,6 +22,7 @@ Three comparisons are provided:
 from __future__ import annotations
 
 from ..experiments.tables import ExperimentTable
+from ..obs.trace import Tracer
 from .batcher import BatchPolicy
 from .fleet import FleetSpec
 from .metrics import ServingReport
@@ -42,19 +43,22 @@ def run_serving(
     serving: ServingConfig,
     registry: ScheduleRegistry | None = None,
     warmup: bool = True,
+    tracer: "Tracer | None" = None,
 ) -> ServingReport:
     """Generate traffic, serve it, and return the report.
 
     ``registry`` may be shared across calls (or pre-warmed from disk) to model
     a long-lived service; by default each call builds its own from
-    ``serving.registry_root``.
+    ``serving.registry_root``.  ``tracer`` (a :class:`repro.obs.Tracer`)
+    records the run — compile stages, request lifecycles, worker activity —
+    without changing the report.
     """
     if traffic.model != serving.model:
         raise ValueError(
             f"traffic is for model {traffic.model!r} but the service serves "
             f"{serving.model!r}"
         )
-    service = InferenceService(serving, registry=registry)
+    service = InferenceService(serving, registry=registry, tracer=tracer)
     if warmup:
         service.warmup()
     requests = TrafficGenerator(traffic).generate()

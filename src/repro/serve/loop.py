@@ -39,6 +39,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
+from ..runtime.events import add_execution_spans
 from .admission import AdmissionPolicy, AdmitAll
 from .batcher import BatchPolicy
 from .request import FormedBatch, InferenceRequest, RejectedRequest, RequestRecord
@@ -58,7 +61,13 @@ _ARRIVAL, _COMPLETION, _TIMEOUT, _SCALE = 0, 1, 2, 3
 
 @dataclass
 class LoopResult:
-    """Everything one loop run produced, ready for report building."""
+    """Everything one loop run produced, ready for report building.
+
+    ``num_executions`` and ``batch_size_counts`` are assembled from the
+    run's metrics registry at the end of :meth:`ServingLoop.run` — the loop
+    counts into ``metrics`` (the ``serve.executions`` counter), not into
+    parallel bookkeeping.
+    """
 
     records: list[RequestRecord] = field(default_factory=list)
     rejected: list[RejectedRequest] = field(default_factory=list)
@@ -68,6 +77,9 @@ class LoopResult:
     batch_size_counts: dict[int, int] = field(default_factory=dict)
     #: Autoscaler resizes, in event order.
     scale_events: list["ScaleEvent"] = field(default_factory=list)
+    #: The run's full metrics registry (queue depth, admission outcomes,
+    #: latency/queue-delay distributions, worker utilisation series, ...).
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
 
 class LoopState:
@@ -188,6 +200,20 @@ class ServingLoop:
         Gate consulted on every arrival; defaults to :class:`AdmitAll`.
     autoscaler:
         Optional elastic sizing; when present, scale checks join the heap.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When truthy, the loop records
+        every request's lifecycle (arrival → queued → dispatch-wait →
+        execute → completion) as async spans on ``serving/requests``, batch
+        closes / rejections / scale events as instants, queue-depth counter
+        samples, and each dispatch — with its stage and kernel child events —
+        on per-worker tracks.  All timestamps are virtual-clock, so a traced
+        run is exactly reproducible.  The default
+        :data:`~repro.obs.trace.NULL_TRACER` records nothing and keeps the
+        untraced event path byte-identical to pre-tracing behaviour.
+    metrics:
+        The run's :class:`~repro.obs.MetricsRegistry`; defaults to a fresh
+        one.  :meth:`run` clears it at the start of every run, so one loop
+        reused across runs reports each run separately.
     """
 
     def __init__(
@@ -200,6 +226,8 @@ class ServingLoop:
         registry: "ScheduleRegistry",
         admission: AdmissionPolicy | None = None,
         autoscaler: "Autoscaler | None" = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.model = model
         self.policy = policy
@@ -209,6 +237,8 @@ class ServingLoop:
         self.registry = registry
         self.admission = admission or AdmitAll()
         self.autoscaler = autoscaler
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.state = LoopState(self)
         # Mutable run state (reset per run).
         self._now_ms = 0.0
@@ -245,7 +275,7 @@ class ServingLoop:
                 self._on_timeout(payload)
             else:
                 self._on_scale_check()
-        return self._result
+        return self._finalize()
 
     def _reset(self) -> None:
         self.admission.reset()
@@ -257,7 +287,38 @@ class ServingLoop:
         self._arrivals_left = 0
         self._inflight = 0
         self._heap = []
-        self._result = LoopResult()
+        self.metrics.clear()
+        self._result = LoopResult(metrics=self.metrics)
+        self.metrics.gauge(
+            "serve.pool.size", "active workers in the pool"
+        ).set(len(self.pool.workers))
+
+    def _finalize(self) -> LoopResult:
+        """Assemble the derived tallies of the result from the run's metrics.
+
+        The execution count and batch-size mix the report prints come from
+        the ``serve.executions`` counter — the registry is the bookkeeping,
+        not a copy of it — and the pool's busy/lifetime utilisation series
+        lands in the registry alongside (the single series both report
+        summaries read).  Registry-of-schedules counters are exported too so
+        the metrics dump carries the compile-cache hit rate.
+        """
+        result = self._result
+        executions = self.metrics.counter(
+            "serve.executions", "device executions per specialised batch size"
+        )
+        result.num_executions = int(executions.total())
+        result.batch_size_counts = {
+            int(size): int(count)
+            for size, count in executions.by_label("batch_size").items()
+        }
+        self.pool.export_utilization(self.metrics)
+        lookups = self.metrics.gauge(
+            "serve.registry.lookups", "schedule-registry counters (cumulative)"
+        )
+        for name, value in self.registry.stats.as_dict().items():
+            lookups.set(value, kind=name)
+        return result
 
     def _push(self, time_ms: float, kind: int, payload) -> None:
         heapq.heappush(self._heap, (time_ms, kind, next(self._seq), payload))
@@ -265,16 +326,49 @@ class ServingLoop:
     # ------------------------------------------------------------------ events
     def _on_arrival(self, request: InferenceRequest) -> None:
         self._arrivals_left -= 1
+        tracer = self.tracer
+        self.metrics.counter(
+            "serve.requests.offered", "requests submitted to the service"
+        ).inc()
+        if tracer:
+            tracer.async_begin(
+                f"request {request.request_id}", "serving/requests",
+                request.request_id, self._now_ms, category="request",
+                args={
+                    "model": request.model,
+                    "samples": request.num_samples,
+                    "priority": request.priority,
+                    "deadline_ms": request.deadline_ms,
+                },
+            )
         decision = self.admission.admit(request, self.state)
         if not decision.admitted:
+            reason = decision.reason or "rejected"
+            self.metrics.counter(
+                "serve.admission.rejected", "arrivals shed, by policy reason"
+            ).inc(reason=reason)
+            if tracer:
+                tracer.instant(
+                    "reject", "serving/admission", self._now_ms,
+                    category="admission",
+                    args={"request": request.request_id, "reason": reason},
+                )
+                tracer.async_end(
+                    f"request {request.request_id}", "serving/requests",
+                    request.request_id, self._now_ms, category="request",
+                    args={"outcome": "rejected", "reason": reason},
+                )
             self._result.rejected.append(
                 RejectedRequest(
                     request=request,
                     rejected_ms=self._now_ms,
-                    reason=decision.reason or "rejected",
+                    reason=reason,
                 )
             )
             return
+        self.metrics.counter(
+            "serve.admission.admitted", "arrivals allowed to queue"
+        ).inc()
         policy = self.policy
         # A priority-preemptive policy expedites this arrival: the batch
         # closes *with the request inside* the moment it joins — whatever
@@ -292,6 +386,7 @@ class ServingLoop:
         self._pending.append(request)
         self._pending_samples += request.num_samples
         self._observe_queue()
+        self._sample_queue()
         if self._pending_samples >= policy.max_batch_size:
             self._close_batch(self._now_ms, "full")
         elif preempt:
@@ -300,7 +395,7 @@ class ServingLoop:
     def _on_completion(self) -> None:
         self._inflight -= 1
         if self.autoscaler is not None:
-            self._result.scale_events.extend(self.autoscaler.evaluate(self.state))
+            self._record_scale_events(self.autoscaler.evaluate(self.state))
 
     def _on_timeout(self, batch_id: int) -> None:
         if batch_id != self._batch_id or not self._pending:
@@ -310,9 +405,33 @@ class ServingLoop:
 
     def _on_scale_check(self) -> None:
         assert self.autoscaler is not None
-        self._result.scale_events.extend(self.autoscaler.evaluate(self.state))
+        self._record_scale_events(self.autoscaler.evaluate(self.state))
         if self._arrivals_left or self._pending or self._inflight:
             self._push(self._now_ms + self.autoscaler.config.interval_ms, _SCALE, None)
+
+    def _record_scale_events(self, events) -> None:
+        """Append autoscaler resizes, counting and tracing each one."""
+        if not events:
+            return
+        self._result.scale_events.extend(events)
+        counter = self.metrics.counter(
+            "serve.autoscale.events", "autoscaler resizes, by direction"
+        )
+        pool_size = self.metrics.gauge("serve.pool.size", "active workers in the pool")
+        for event in events:
+            counter.inc(action=event.action)
+            pool_size.set(event.num_workers)
+            if self.tracer:
+                self.tracer.instant(
+                    f"scale-{event.action}", "serving/autoscale", event.time_ms,
+                    category="autoscale",
+                    args={
+                        "reason": event.reason,
+                        "worker": event.worker_id,
+                        "device": event.device,
+                        "pool": event.num_workers,
+                    },
+                )
 
     # ---------------------------------------------------------------- batching
     def _observe_queue(self) -> None:
@@ -322,6 +441,20 @@ class ServingLoop:
             highest = max((request.priority for request in self._pending), default=None)
             observe(highest)
 
+    def _sample_queue(self) -> None:
+        """Sample the forming batch's depth into the gauge and the trace."""
+        self.metrics.gauge(
+            "serve.queue.depth", "requests in the forming batch"
+        ).set(len(self._pending))
+        self.metrics.gauge(
+            "serve.queue.samples", "samples in the forming batch"
+        ).set(self._pending_samples)
+        if self.tracer:
+            self.tracer.counter(
+                "queue depth", "serving/loop", self._now_ms,
+                {"requests": len(self._pending), "samples": self._pending_samples},
+            )
+
     def _close_batch(self, formed_ms: float, reason: str) -> None:
         ordered = sorted(self._pending, key=self.admission.order_key)
         batch = FormedBatch(requests=ordered, formed_ms=formed_ms, close_reason=reason)
@@ -329,8 +462,23 @@ class ServingLoop:
         self._pending_samples = 0
         self._batch_id += 1
         self._observe_queue()
+        self._sample_queue()
+        self.metrics.counter(
+            "serve.batch.closes", "formed batches, by close reason"
+        ).inc(reason=reason)
+        self.metrics.histogram(
+            "serve.batch.occupancy", "samples per formed batch"
+        ).observe(batch.num_samples)
+        if self.tracer:
+            self.tracer.instant(
+                "batch-close", "serving/loop", formed_ms, category="batch",
+                args={
+                    "reason": reason,
+                    "requests": len(batch),
+                    "samples": batch.num_samples,
+                },
+            )
         for chunk in self._chunk(batch):
-            self._result.num_executions += 1
             self._execute_chunk(batch, chunk)
 
     def _chunk(self, batch: FormedBatch) -> list[list[InferenceRequest]]:
@@ -386,19 +534,95 @@ class ServingLoop:
             num_samples=num_samples,
             plan=compiled.plan,
         )
-        counts = self._result.batch_size_counts
-        counts[rung] = counts.get(rung, 0) + 1
+        self.metrics.counter(
+            "serve.executions", "device executions per specialised batch size"
+        ).inc(batch_size=rung)
+        latency = self.metrics.histogram(
+            "serve.latency_ms", "end-to-end request latency"
+        )
+        queue_delay = self.metrics.histogram(
+            "serve.queue_delay_ms", "arrival-to-dispatch request delay"
+        )
         for request in chunk:
-            self._result.records.append(
-                RequestRecord(
-                    request=request,
-                    batched_ms=batch.formed_ms,
-                    dispatch_ms=dispatch.start_ms,
-                    completion_ms=dispatch.end_ms,
-                    executed_batch_size=rung,
-                    worker_id=dispatch.worker_id,
-                    device=dispatch.device,
-                )
+            record = RequestRecord(
+                request=request,
+                batched_ms=batch.formed_ms,
+                dispatch_ms=dispatch.start_ms,
+                completion_ms=dispatch.end_ms,
+                executed_batch_size=rung,
+                worker_id=dispatch.worker_id,
+                device=dispatch.device,
             )
+            self._result.records.append(record)
+            latency.observe(record.latency_ms, device=dispatch.device)
+            queue_delay.observe(record.queue_delay_ms, device=dispatch.device)
         self._inflight += 1
         self._push(dispatch.end_ms, _COMPLETION, None)
+        if self.tracer:
+            self._trace_dispatch(batch, chunk, rung, compiled, worker, dispatch)
+
+    def _trace_dispatch(self, batch, chunk, rung, compiled, worker, dispatch) -> None:
+        """Record one dispatch: request phases, the batch span, kernel children.
+
+        Every timestamp is virtual-clock, so the spans are exactly as
+        reproducible as the loop itself.  Request lifecycles are async spans
+        correlated by request id — queued (arrival → batch close),
+        dispatch-wait (close → worker start) and execute (start → end) nest
+        inside the ``request N`` span opened at arrival.  The batch itself
+        lands on the executing worker's ``batches`` row, with the memoised
+        execution's stage/kernel events replayed underneath at the dispatch's
+        start time (see
+        :meth:`~repro.serve.workers.WorkerPool.execution_result`).
+        """
+        tracer = self.tracer
+        for request in chunk:
+            correlation = request.request_id
+            name = f"request {correlation}"
+            tracer.async_begin(
+                "queued", "serving/requests", correlation,
+                request.arrival_ms, category="request",
+            )
+            tracer.async_end(
+                "queued", "serving/requests", correlation,
+                batch.formed_ms, category="request",
+            )
+            if dispatch.start_ms > batch.formed_ms:
+                tracer.async_begin(
+                    "dispatch-wait", "serving/requests", correlation,
+                    batch.formed_ms, category="request",
+                )
+                tracer.async_end(
+                    "dispatch-wait", "serving/requests", correlation,
+                    dispatch.start_ms, category="request",
+                )
+            tracer.async_begin(
+                "execute", "serving/requests", correlation,
+                dispatch.start_ms, category="request",
+                args={"worker": dispatch.worker_id, "device": dispatch.device,
+                      "batch_size": rung},
+            )
+            tracer.async_end(
+                "execute", "serving/requests", correlation,
+                dispatch.end_ms, category="request",
+            )
+            tracer.async_end(
+                name, "serving/requests", correlation,
+                dispatch.end_ms, category="request",
+                args={"outcome": "completed"},
+            )
+        track = f"worker {dispatch.worker_id} ({dispatch.device})"
+        tracer.add_span(
+            f"batch bs{rung}", f"{track}/batches",
+            dispatch.start_ms, dispatch.end_ms, category="batch",
+            args={
+                "requests": len(chunk),
+                "samples": sum(request.num_samples for request in chunk),
+                "batch_size": rung,
+                "close_reason": batch.close_reason,
+                "wait_for_worker_ms": dispatch.wait_for_worker_ms,
+            },
+        )
+        result = self.pool.execution_result(
+            compiled.graph, compiled.schedule, worker, plan=compiled.plan
+        )
+        add_execution_spans(tracer, result, track, dispatch.start_ms)

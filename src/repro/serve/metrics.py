@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from .registry import RegistryStats
 from .request import RejectedRequest, RequestRecord
 
@@ -207,6 +208,11 @@ class ServingReport:
     slo_summary: SloSummary | None = None
     #: Autoscaler resize events, in event order (empty without an autoscaler).
     scale_events: list = field(default_factory=list)
+    #: The run's full metrics registry (queue depth, admission outcomes,
+    #: latency distributions, per-worker utilisation series, ...); ``None``
+    #: for reports built without one.  Deliberately absent from
+    #: :meth:`describe`, which stays byte-compatible with pre-metrics output.
+    metrics: MetricsRegistry | None = None
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -383,6 +389,7 @@ def build_report(
     admission: str = "",
     rejected: Sequence[RejectedRequest] = (),
     scale_events: Sequence | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ServingReport:
     """Fold per-request records into a :class:`ServingReport`.
 
@@ -413,6 +420,10 @@ def build_report(
         rejections only — then every latency summary is all-zero.
     scale_events:
         Autoscaler resize events to record in the report.
+    metrics:
+        The run's :class:`~repro.obs.MetricsRegistry` to attach to the
+        report (``ios-bench serve --metrics`` dumps it); never printed by
+        :meth:`ServingReport.describe`.
     """
     if not records and not rejected:
         raise ValueError("cannot build a serving report from zero records")
@@ -473,4 +484,5 @@ def build_report(
         rejected=list(rejected),
         slo_summary=slo_summary,
         scale_events=list(scale_events or []),
+        metrics=metrics,
     )

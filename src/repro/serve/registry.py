@@ -50,6 +50,7 @@ from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
 from ..models import build_model
+from ..obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["RegistryKey", "RegistryStats", "RegistryError", "ScheduleRegistry"]
 
@@ -159,6 +160,12 @@ class ScheduleRegistry:
         pipeline; a :class:`~repro.passes.PassManager` runs that one.  The
         persisted key fingerprints the *rewritten* graph, so optimised and
         raw schedules never collide.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` handed to every per-device
+        compile engine, so misses record their compile stages on the trace's
+        ``compile/stages`` track.  The attribute is mutable and re-applied on
+        each :meth:`engine_for` call — a service may point a long-lived
+        registry at the current run's tracer.
     """
 
     def __init__(
@@ -169,11 +176,13 @@ class ScheduleRegistry:
         graph_builder: Callable[[str, int], Graph] | None = None,
         scheduler_factory: Callable[[DeviceSpec, KernelProfile, str], IOSScheduler] | None = None,
         passes=False,
+        tracer: Tracer | None = None,
     ):
         self.root = Path(root) if root is not None else None
         self.profile = profile
         self.variant = normalize_variant(variant)
         self.passes = passes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._graph_builder = graph_builder or (
             lambda model, batch_size: build_model(model, batch_size=batch_size)
         )
@@ -211,7 +220,11 @@ class ScheduleRegistry:
             self._engines[device.name] = Engine(
                 device, profile=self.profile, scheduler=scheduler
             )
-        return self._engines[device.name]
+        engine = self._engines[device.name]
+        # Re-point on every call: the registry may outlive a traced run, and
+        # the service re-targets self.tracer per run.
+        engine.tracer = self.tracer
+        return engine
 
     def graph_for(self, model: str, batch_size: int) -> Graph:
         """The (optionally pass-optimised) graph served for ``(model, batch)``."""
@@ -221,7 +234,7 @@ class ScheduleRegistry:
             if self.passes:
                 from ..engine.stages import apply_passes
 
-                graph, _ = apply_passes(graph, self.passes)
+                graph, _ = apply_passes(graph, self.passes, tracer=self.tracer)
             self._graphs[cache_key] = graph
         return self._graphs[cache_key]
 

@@ -39,6 +39,7 @@ from typing import Sequence
 from ..core.dp_scheduler import normalize_variant
 from ..hardware.device import get_device, get_devices
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from ..obs.trace import NULL_TRACER, Tracer
 from .admission import AdmissionPolicy, get_admission_policy
 from .autoscale import AutoscaleConfig, Autoscaler
 from .batcher import BatchPolicy, BatchSizeSelector
@@ -173,6 +174,13 @@ class InferenceService:
     admission:
         Inject a pre-built :class:`~repro.serve.admission.AdmissionPolicy`
         instance; defaults to ``config.admission`` by name.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; the service threads it through
+        the loop (request lifecycles, batch/worker activity) *and* the
+        registry's compile engines (compile-stage spans), so one trace spans
+        compile and serving.  The tracer takes over an injected shared
+        registry's engines for as long as this service uses them.  Reports
+        stay byte-identical whether tracing is on or off.
     """
 
     def __init__(
@@ -182,13 +190,17 @@ class InferenceService:
         profile: KernelProfile = CUDNN_PROFILE,
         router: Router | None = None,
         admission: AdmissionPolicy | None = None,
+        tracer: Tracer | None = None,
     ):
         self.config = config
         self.profile = profile
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry or ScheduleRegistry(
             root=config.registry_root, profile=profile, variant=config.variant,
             passes=config.passes,
         )
+        if tracer is not None:
+            self.registry.tracer = self.tracer
         self.pool = WorkerPool(get_devices(config.devices), profile=profile)
         self.router = router if router is not None else get_router(config.router)
         self.admission = (
@@ -212,6 +224,7 @@ class InferenceService:
             registry=self.registry,
             admission=self.admission,
             autoscaler=self.autoscaler,
+            tracer=self.tracer,
         )
 
     def _scale_device(self) -> str:
@@ -254,15 +267,18 @@ class InferenceService:
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
 
         outcome = self.loop.run(ordered)
+        # Both summaries read the per-worker busy/lifetime series the loop
+        # exported into the run's registry — one bookkeeping, two views.
         return build_report(
             records=outcome.records,
             num_batches=outcome.num_executions,
             batch_size_counts=outcome.batch_size_counts,
             registry_stats=self.registry.stats,
-            worker_summary=self.pool.summary(),
-            group_summary=self.pool.group_summary(),
+            worker_summary=self.pool.summary(metrics=outcome.metrics),
+            group_summary=self.pool.group_summary(metrics=outcome.metrics),
             router=self.router.name,
             admission=self.admission.name,
             rejected=outcome.rejected,
             scale_events=outcome.scale_events,
+            metrics=outcome.metrics,
         )

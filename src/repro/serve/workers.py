@@ -30,7 +30,8 @@ from ..core.schedule import Schedule
 from ..hardware.device import DeviceSpec
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.graph import Graph
-from ..runtime.executor import ExecutionPlan, Executor
+from ..obs.metrics import MetricsRegistry
+from ..runtime.executor import ExecutionPlan, ExecutionResult, Executor
 
 __all__ = ["Worker", "DispatchResult", "WorkerPool", "earliest_start_worker"]
 
@@ -131,8 +132,12 @@ class WorkerPool:
         #: schedule origin) — lowering validates and rebuilds merged operators,
         #: so it is worth skipping on the request path.
         self._plan_cache: dict[tuple[str, int, str, str], ExecutionPlan] = {}
-        #: Measured plan latency per cache key (simulation is deterministic).
-        self._latency_cache: dict[tuple[str, int, str, str], float] = {}
+        #: Full simulated execution per cache key (simulation is
+        #: deterministic, so one run stands for every dispatch of the plan).
+        #: Keeping the whole :class:`ExecutionResult` — not just its latency —
+        #: lets tracing replay the plan's stage/kernel events as child spans
+        #: of each dispatch.
+        self._result_cache: dict[tuple[str, int, str, str], ExecutionResult] = {}
 
     def __len__(self) -> int:
         return len(self.workers)
@@ -163,21 +168,32 @@ class WorkerPool:
         """
         return earliest_start_worker(self.workers, ready_ms)
 
+    def execution_result(self, graph: Graph, schedule: Schedule, worker: Worker,
+                         plan: ExecutionPlan | None = None) -> ExecutionResult:
+        """The memoised simulated execution of the plan on the worker's device.
+
+        ``plan`` optionally seeds the pool's plan cache with an already
+        lowered plan (e.g. from a :class:`~repro.engine.CompiledModel`), so
+        the pool never re-lowers what the engine already produced.  The
+        returned result is shared — treat it as immutable.  Its timeline is
+        plan-local (starts at 0); dispatch tracing re-bases the stage/kernel
+        events at each dispatch's start time.
+        """
+        key = self._plan_key(graph, schedule, worker)
+        if key not in self._result_cache:
+            if plan is not None:
+                self._plan_cache.setdefault(key, plan)
+            plan = self._plan(key, graph, schedule)
+            self._result_cache[key] = worker.executor.run(plan)
+        return self._result_cache[key]
+
     def plan_latency_ms(self, graph: Graph, schedule: Schedule, worker: Worker,
                         plan: ExecutionPlan | None = None) -> float:
         """Deterministic execution latency of the plan on the worker's device.
 
-        ``plan`` optionally seeds the pool's plan cache with an already
-        lowered plan (e.g. from a :class:`~repro.engine.CompiledModel`), so
-        the pool never re-lowers what the engine already produced.
+        Convenience over :meth:`execution_result` (same cache, same seeding).
         """
-        key = self._plan_key(graph, schedule, worker)
-        if key not in self._latency_cache:
-            if plan is not None:
-                self._plan_cache.setdefault(key, plan)
-            plan = self._plan(key, graph, schedule)
-            self._latency_cache[key] = worker.executor.run(plan).latency_ms
-        return self._latency_cache[key]
+        return self.execution_result(graph, schedule, worker, plan=plan).latency_ms
 
     def plan_latency_for(self, graph: Graph, schedule: Schedule, device: DeviceSpec,
                          plan: ExecutionPlan | None = None) -> float:
@@ -280,50 +296,95 @@ class WorkerPool:
         """Latest completion over all workers (retired ones included)."""
         return max(worker.busy_until_ms for worker in self.all_workers())
 
-    def summary(self) -> list[dict[str, object]]:
-        """Per-worker accounting rows for reports (retired workers included)."""
-        makespan = self.makespan_ms()
-        return [
-            {
-                "worker": worker.worker_id,
-                "device": worker.device.name,
-                "batches": worker.batches_executed,
-                "samples": worker.samples_executed,
-                "busy_ms": worker.busy_ms,
-                "utilization": worker.utilization(makespan),
-            }
-            for worker in self.all_workers()
-        ]
+    #: Metric families holding the per-worker busy/lifetime series — the
+    #: single source of truth both utilisation summaries compute from.
+    BUSY_METRIC = "serve.worker.busy_ms"
+    LIFETIME_METRIC = "serve.worker.lifetime_ms"
 
-    def group_summary(self) -> list[dict[str, object]]:
+    def export_utilization(self, metrics: MetricsRegistry) -> None:
+        """Write the per-worker busy/lifetime series into ``metrics``.
+
+        One gauge series per worker (labelled by worker id and device), busy
+        milliseconds and lifetime milliseconds (spawn to retirement, or to
+        the makespan while active).  :meth:`summary` and
+        :meth:`group_summary` both read *this* series back — per-worker and
+        per-group utilisation can no longer drift apart, because there is
+        only one busy/lifetime bookkeeping to disagree with.
+        """
+        makespan = self.makespan_ms()
+        busy = metrics.gauge(self.BUSY_METRIC, "milliseconds each worker spent executing")
+        lifetime = metrics.gauge(self.LIFETIME_METRIC, "milliseconds each worker existed")
+        for worker in self.all_workers():
+            end_ms = makespan if worker.retired_ms is None else worker.retired_ms
+            labels = {"worker": str(worker.worker_id), "device": worker.device.name}
+            busy.set(worker.busy_ms, **labels)
+            lifetime.set(max(0.0, end_ms - worker.spawned_ms), **labels)
+
+    @staticmethod
+    def _utilization(busy_ms: float, lifetime_ms: float) -> float:
+        """The one busy/lifetime ratio (capped at 1) every summary uses."""
+        return min(1.0, busy_ms / lifetime_ms) if lifetime_ms > 0 else 0.0
+
+    def summary(self, metrics: MetricsRegistry | None = None) -> list[dict[str, object]]:
+        """Per-worker accounting rows for reports (retired workers included).
+
+        Utilisation comes from the :meth:`export_utilization` series; pass
+        the run's registry as ``metrics`` to land the series there (the
+        service does), or omit it for a throwaway one.
+        """
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.export_utilization(metrics)
+        busy = metrics.gauge(self.BUSY_METRIC)
+        lifetime = metrics.gauge(self.LIFETIME_METRIC)
+        rows: list[dict[str, object]] = []
+        for worker in self.all_workers():
+            labels = {"worker": str(worker.worker_id), "device": worker.device.name}
+            busy_ms = busy.value(**labels)
+            rows.append(
+                {
+                    "worker": worker.worker_id,
+                    "device": worker.device.name,
+                    "batches": worker.batches_executed,
+                    "samples": worker.samples_executed,
+                    "busy_ms": busy_ms,
+                    "utilization": self._utilization(busy_ms, lifetime.value(**labels)),
+                }
+            )
+        return rows
+
+    def group_summary(self, metrics: MetricsRegistry | None = None) -> list[dict[str, object]]:
         """Per-device-group accounting rows (one row per device type).
 
         ``utilization`` is the group's busy time divided by the group's total
         available time, so a group of idle replicas dilutes its own
-        utilisation, not another group's.  A worker's available time is its
-        *lifetime* (spawn to retirement, or to the makespan while active):
-        on a fixed pool that is ``workers × makespan`` as before, while on an
-        elastic pool a worker the autoscaler ran for only a slice of the run
-        contributes only that slice to the denominator.  ``workers`` counts
-        every worker that ever served in the group (pool churn included).
+        utilisation, not another group's — and both numbers are sums over the
+        *same* per-worker series :meth:`summary` reads
+        (:meth:`export_utilization`), so the group ratio is exactly the
+        lifetime-weighted aggregate of the worker ratios.  On a fixed pool a
+        worker's lifetime is the whole makespan as before, while a worker the
+        autoscaler ran for only a slice of the run contributes only that
+        slice to the denominator.  ``workers`` counts every worker that ever
+        served in the group (pool churn included).
         """
-        makespan = self.makespan_ms()
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.export_utilization(metrics)
+        busy = metrics.gauge(self.BUSY_METRIC)
+        lifetime = metrics.gauge(self.LIFETIME_METRIC)
         groups: dict[str, dict[str, object]] = {}
         for worker in self.all_workers():
             row = groups.setdefault(
                 worker.device.name,
                 {"device": worker.device.name, "workers": 0, "batches": 0,
-                 "samples": 0, "busy_ms": 0.0, "available_ms": 0.0},
+                 "samples": 0, "busy_ms": 0.0, "lifetime_ms": 0.0},
             )
+            labels = {"worker": str(worker.worker_id), "device": worker.device.name}
             row["workers"] += 1
             row["batches"] += worker.batches_executed
             row["samples"] += worker.samples_executed
-            row["busy_ms"] += worker.busy_ms
-            end_ms = makespan if worker.retired_ms is None else worker.retired_ms
-            row["available_ms"] += max(0.0, end_ms - worker.spawned_ms)
+            row["busy_ms"] += busy.value(**labels)
+            row["lifetime_ms"] += lifetime.value(**labels)
         for row in groups.values():
-            available = row.pop("available_ms")
-            row["utilization"] = (
-                min(1.0, row["busy_ms"] / available) if available > 0 else 0.0
-            )
+            row["utilization"] = self._utilization(row["busy_ms"], row.pop("lifetime_ms"))
         return list(groups.values())

@@ -221,3 +221,57 @@ class TestServeSloCLI:
     def test_serve_slo_rejects_bad_arguments_cleanly(self, bad):
         with pytest.raises(SystemExit):
             main(["serve"] + bad)
+
+
+class TestTraceCLI:
+    TRACED_ARGS = [
+        "serve", "--model", "squeezenet", "--requests", "40", "--rate", "400",
+        "--batch-sizes", "1,2,4",
+    ]
+
+    def test_serve_trace_writes_a_valid_perfetto_json(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert main(self.TRACED_ARGS + ["--trace", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert "served 40 requests" in captured.out
+        assert str(trace_path) in captured.err
+        document = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_serve_metrics_dump_without_tracing(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(self.TRACED_ARGS + ["--metrics", str(metrics_path)]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert "serve.executions" in snapshot
+        assert "serve.latency_ms" in snapshot
+
+    def test_trace_subcommand_validates_and_summarises(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(self.TRACED_ARGS + ["--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "tracks:" in out
+        assert "serving/requests" in out
+
+    def test_trace_subcommand_rejects_invalid_documents(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"traceEvents": [{"name": "x", "ph": "Z"}]}')
+        assert main(["trace", str(bogus)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_compare_ignores_trace_flags_with_a_note(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(self.TRACED_ARGS
+                    + ["--compare", "--pattern", "poisson",
+                       "--trace", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert "ignoring them" in captured.err
+        assert not trace_path.exists()

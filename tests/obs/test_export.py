@@ -1,0 +1,112 @@
+"""Tests for the Chrome-trace exporter and its schema validator."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Tracer, chrome_trace, chrome_trace_json, validate_chrome_trace
+from repro.obs.export import write_chrome_trace
+
+
+def sample_tracer() -> Tracer:
+    """A small trace exercising every record kind across three tracks."""
+    tracer = Tracer()
+    tracer.add_span("schedule", "compile/stages", 0.0, 2.5,
+                    category="compile", args={"graph": "toy"})
+    tracer.instant("batch-close", "serving/loop", ts_ms=4.0, category="batch")
+    tracer.counter("queue depth", "serving/loop", 4.0, {"requests": 3.0})
+    tracer.async_begin("request 1", "serving/requests", 1, 1.0, category="request")
+    tracer.async_end("request 1", "serving/requests", 1, 6.0, category="request")
+    tracer.add_span("conv", "worker 0 (v100)/stream 0", 4.5, 5.5, category="kernel")
+    return tracer
+
+
+def events_of(document: dict, phase: str) -> list[dict]:
+    return [event for event in document["traceEvents"] if event["ph"] == phase]
+
+
+class TestChromeTrace:
+    def test_document_shape_and_track_count(self):
+        document = chrome_trace(sample_tracer())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["generator"] == "repro.obs"
+        # compile/stages, serving/loop, serving/requests, worker 0 (v100)/stream 0
+        assert document["otherData"]["trackCount"] == 4
+
+    def test_times_convert_to_microseconds(self):
+        document = chrome_trace(sample_tracer())
+        (span,) = [e for e in events_of(document, "X") if e["name"] == "schedule"]
+        assert span["ts"] == 0.0
+        assert span["dur"] == 2500.0
+        (instant,) = events_of(document, "i")
+        assert instant["ts"] == 4000.0
+        assert instant["s"] == "t"
+
+    def test_rows_share_a_pid_per_process(self):
+        document = chrome_trace(sample_tracer())
+        names = {}
+        for event in events_of(document, "M"):
+            if event["name"] == "process_name":
+                names[event["args"]["name"]] = event["pid"]
+        assert set(names) == {"compile", "serving", "worker 0 (v100)"}
+        instant, counter = events_of(document, "i") + events_of(document, "C")
+        begin = events_of(document, "b")[0]
+        # serving/loop and serving/requests share the serving pid on
+        # different tids.
+        assert instant["pid"] == counter["pid"] == begin["pid"] == names["serving"]
+        assert instant["tid"] != begin["tid"]
+
+    def test_async_pair_keeps_category_and_id(self):
+        document = chrome_trace(sample_tracer())
+        (begin,) = events_of(document, "b")
+        (end,) = events_of(document, "e")
+        assert begin["cat"] == end["cat"] == "request"
+        assert begin["id"] == end["id"] == 1
+
+    def test_rendering_is_byte_deterministic(self):
+        assert chrome_trace_json(sample_tracer()) == chrome_trace_json(sample_tracer())
+
+    def test_write_creates_parents_and_round_trips(self, tmp_path):
+        target = write_chrome_trace(sample_tracer(), tmp_path / "deep" / "t.json")
+        data = json.loads(target.read_text())
+        assert validate_chrome_trace(data) == []
+
+
+class TestValidateChromeTrace:
+    def test_exported_traces_pass(self):
+        assert validate_chrome_trace(chrome_trace(sample_tracer())) == []
+
+    def test_non_object_documents_fail(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_empty_event_list_fails(self):
+        (error,) = validate_chrome_trace({"traceEvents": []})
+        assert "empty" in error
+
+    def test_unknown_phase_is_reported(self):
+        document = chrome_trace(sample_tracer())
+        document["traceEvents"][-1]["ph"] = "Z"
+        assert any("unknown phase" in e for e in validate_chrome_trace(document))
+
+    def test_span_without_duration_is_reported(self):
+        document = chrome_trace(sample_tracer())
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                del event["dur"]
+        assert any("dur" in e for e in validate_chrome_trace(document))
+
+    def test_unbalanced_async_pairs_are_reported(self):
+        document = chrome_trace(sample_tracer())
+        document["traceEvents"] = [
+            event for event in document["traceEvents"] if event["ph"] != "e"
+        ]
+        assert any("never closed" in e for e in validate_chrome_trace(document))
+
+    def test_unnamed_rows_are_reported(self):
+        document = chrome_trace(sample_tracer())
+        document["traceEvents"] = [
+            event for event in document["traceEvents"]
+            if not (event["ph"] == "M" and event["name"] == "thread_name")
+        ]
+        assert any("thread_name" in e for e in validate_chrome_trace(document))

@@ -1,0 +1,174 @@
+"""Tests for the metrics registry: counters, gauges, histograms, export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    HISTOGRAM_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantiles_reference,
+)
+
+
+class TestCounter:
+    def test_increments_default_to_one(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc()
+        assert counter.value() == 2.0
+        assert counter.total() == 2.0
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("rejects")
+        counter.inc(reason="deadline")
+        counter.inc(3.0, reason="capacity")
+        assert counter.value(reason="deadline") == 1.0
+        assert counter.value(reason="capacity") == 3.0
+        assert counter.total() == 4.0
+
+    def test_negative_increment_is_rejected(self):
+        counter = Counter("requests")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1.0)
+
+    def test_unset_series_reads_zero(self):
+        assert Counter("requests").value(reason="missing") == 0.0
+
+    def test_by_label_groups_totals(self):
+        counter = Counter("executions")
+        counter.inc(batch_size=1, device="v100")
+        counter.inc(batch_size=4, device="v100")
+        counter.inc(batch_size=4, device="k80")
+        assert counter.by_label("batch_size") == {"1": 1.0, "4": 2.0}
+        assert counter.by_label("device") == {"k80": 1.0, "v100": 2.0}
+
+
+class TestGauge:
+    def test_set_overwrites_and_add_adjusts(self):
+        gauge = Gauge("queue.depth")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value() == 3.0
+
+    def test_high_water_mark_survives_a_drop(self):
+        gauge = Gauge("pool.size")
+        gauge.set(2.0)
+        gauge.set(6.0)
+        gauge.set(1.0)
+        assert gauge.value() == 1.0
+        assert gauge.max() == 6.0
+
+    def test_unset_series_reads_zero(self):
+        gauge = Gauge("queue.depth")
+        assert gauge.value() == 0.0
+        assert gauge.max() == 0.0
+
+
+class TestHistogram:
+    VALUES = [3.2, 1.1, 8.9, 4.4, 4.4, 0.3, 12.0, 7.5, 2.2, 5.1]
+
+    def observed(self) -> Histogram:
+        histogram = Histogram("latency_ms")
+        for value in self.VALUES:
+            histogram.observe(value)
+        return histogram
+
+    def test_count_sum_and_values(self):
+        histogram = self.observed()
+        assert histogram.count() == len(self.VALUES)
+        assert histogram.sum() == pytest.approx(sum(self.VALUES))
+        assert histogram.values() == self.VALUES
+
+    def test_quantiles_match_numpy_exactly(self):
+        histogram = self.observed()
+        for q in (0, 25, 50, 75, 95, 99, 100):
+            assert histogram.quantile(q) == float(np.percentile(self.VALUES, q))
+
+    def test_snapshot_arithmetic_matches_the_numpy_reference(self):
+        snapshot = self.observed().snapshot()["series"][0]
+        reference = quantiles_reference(self.VALUES)
+        for q in HISTOGRAM_QUANTILES:
+            assert snapshot[f"p{q:g}"] == reference[f"p{q:g}"]
+        assert snapshot["count"] == len(self.VALUES)
+        assert snapshot["sum"] == pytest.approx(float(np.sum(self.VALUES)))
+        assert snapshot["min"] == min(self.VALUES)
+        assert snapshot["max"] == max(self.VALUES)
+        assert snapshot["mean"] == pytest.approx(float(np.mean(self.VALUES)))
+
+    def test_quantile_of_empty_series_raises(self):
+        with pytest.raises(ValueError, match="no observations"):
+            Histogram("latency_ms").quantile(50)
+
+    def test_out_of_range_percentile_raises(self):
+        histogram = self.observed()
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            histogram.quantile(101)
+
+    def test_labelled_series_keep_separate_distributions(self):
+        histogram = Histogram("latency_ms")
+        histogram.observe(1.0, device="v100")
+        histogram.observe(9.0, device="k80")
+        assert histogram.values(device="v100") == [1.0]
+        assert histogram.values(device="k80") == [9.0]
+
+
+class TestMetricsRegistry:
+    def test_families_are_memoised_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.executions")
+        with pytest.raises(TypeError, match="is a counter, not a gauge"):
+            registry.gauge("serve.executions")
+
+    def test_names_are_sorted_and_membership_works(self):
+        registry = MetricsRegistry()
+        registry.gauge("z")
+        registry.counter("a")
+        assert registry.names() == ["a", "z"]
+        assert "a" in registry
+        assert "missing" not in registry
+        assert registry.get("missing") is None
+
+    def test_snapshot_is_insertion_order_independent(self):
+        def populate(registry: MetricsRegistry, flipped: bool) -> MetricsRegistry:
+            order = ["beta", "alpha"] if flipped else ["alpha", "beta"]
+            for name in order:
+                registry.counter(name).inc(2.0, kind=name)
+            registry.histogram("lat").observe(1.5)
+            return registry
+
+        first = populate(MetricsRegistry(), flipped=False)
+        second = populate(MetricsRegistry(), flipped=True)
+        assert first.to_json() == second.to_json()
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(7.0)
+        target = registry.write(tmp_path / "nested" / "metrics.json")
+        assert json.loads(target.read_text()) == registry.snapshot()
+
+    def test_clear_empties_the_namespace(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc()
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+
+    def test_description_backfills_once(self):
+        registry = MetricsRegistry()
+        registry.counter("requests")
+        assert registry.counter("requests", "total offered").description == "total offered"
+        assert registry.counter("requests", "other").description == "total offered"

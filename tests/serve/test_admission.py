@@ -197,6 +197,46 @@ class TestPriorityAdmission:
         assert report.records[0].batched_ms == 0.0  # dispatched alone, on arrival
         assert report.records[0].deadline_met
 
+    def test_protection_margin_sheds_the_marginal_low_class_request(self):
+        # A below-top-class request predicted to meet its deadline with only
+        # a sliver of budget to spare is shed: the headroom is reserved for
+        # the top class.  protection=0.0 restores the plain deadline gate.
+        def scenario(policy):
+            service = toy_service(admission=policy)
+            # A pinned horizon makes the worker, not the batching wait, the
+            # binding term — so preemption cannot rescue the low request
+            # either, and only the margin decides.
+            service.pool.workers[0].busy_until_ms = 10.0
+            high = request(0, arrival_ms=0.0, priority=3)
+            # Predicted to finish ~10.1ms in against a 12.5ms absolute
+            # deadline: a couple of ms to spare, far less than the capped
+            # margin (0.75 × 12ms) the protection demands.
+            low = request(1, arrival_ms=0.5, priority=0, deadline_ms=12.0)
+            return service.run([high, low])
+
+        protected = scenario(PriorityAdmission())
+        assert [r.request.request_id for r in protected.rejected] == [1]
+        assert protected.rejected[0].reason == "low-priority-shed"
+
+        unprotected = scenario(PriorityAdmission(protection=0.0))
+        assert unprotected.rejected == []
+        by_id = {r.request.request_id: r for r in unprotected.records}
+        assert by_id[1].deadline_met
+
+    def test_protection_margin_arithmetic_scales_with_class_distance(self):
+        policy = PriorityAdmission(protection=0.25)
+        low = request(0, arrival_ms=0.0, priority=0, deadline_ms=10.0)
+        # No class seen yet, and the top class itself: no margin.
+        assert policy._protection_margin_ms(low) == 0.0
+        policy._highest_seen = 0
+        assert policy._protection_margin_ms(low) == 0.0
+        # One level below the top: a quarter of the budget.
+        policy._highest_seen = 1
+        assert policy._protection_margin_ms(low) == pytest.approx(2.5)
+        # Deeply subordinate: capped at MAX_PROTECTION of the budget.
+        policy._highest_seen = 10
+        assert policy._protection_margin_ms(low) == pytest.approx(7.5)
+
     def test_priority_class_floor_resets_between_runs_of_one_service(self):
         # Worker horizons deliberately persist across run() calls (a
         # long-lived deployment), but the policy's class bookkeeping must

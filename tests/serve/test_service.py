@@ -88,7 +88,7 @@ class TestInferenceService:
         # Selection cross-evaluated the ladder; every measurement must have
         # landed in the pool's shared cache rather than a parallel one.
         assert service.selector._latency_cache
-        assert len(service.pool._latency_cache) >= len(service.selector._latency_cache)
+        assert len(service.pool._result_cache) >= len(service.selector._latency_cache)
 
     def test_pool_executes_the_engine_lowered_plans(self):
         # The pool must never re-lower what the engine already produced: every

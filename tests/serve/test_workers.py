@@ -52,7 +52,7 @@ class TestWorkerPool:
         first = pool.plan_latency_ms(graph, schedule, worker)
         assert pool.plan_latency_ms(graph, schedule, worker) == first
         assert len(pool._plan_cache) == 1
-        assert len(pool._latency_cache) == 1
+        assert len(pool._result_cache) == 1
 
     def test_heterogeneous_pool_runs_faster_on_the_faster_device(
         self, graph, schedule, v100, k80

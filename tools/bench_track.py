@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Track compile and serving performance across commits.
+
+Runs two fixed benchmarks and appends one data point each to
+``BENCH_compile.json`` and ``BENCH_serving.json`` at the repo root.  Both
+files are JSON lists, one entry per run::
+
+    [{"commit": "abc1234", "date": "2026-08-08T12:00:00+00:00",
+      "metrics": {...}}, ...]
+
+* **Compile** — a cold :class:`~repro.engine.Engine` compile of ``nasnet_a``
+  and ``inception_v3`` on ``v100``, a warm in-engine recompile (cache hit),
+  and an artifact save/load round-trip (the zero-search warm start the serve
+  registry relies on).  Wall-clock seconds are machine-dependent; the
+  simulated latency and stage structure are deterministic.
+* **Serving** — a fixed seeded scenario (``squeezenet`` on a ``k80:1,v100:2``
+  fleet, bursty deadline-carrying traffic, deadline admission).  The serving
+  loop runs on a virtual clock, so every serving metric is deterministic and
+  comparable across machines.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_track.py             # append data points
+    PYTHONPATH=src python tools/bench_track.py --dry-run   # print, don't write
+
+``REPRO_BENCH_FAST=1`` (or ``--fast``) shrinks both benchmarks for CI smoke
+runs: ``squeezenet`` only, a smaller request count — fast entries are tagged
+``"fast": true`` so they are never compared against full runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import Engine  # noqa: E402
+from repro.engine.compiled import CompiledModel  # noqa: E402
+from repro.serve import ServingConfig, TrafficConfig, run_serving  # noqa: E402
+from repro.serve.batcher import BatchPolicy  # noqa: E402
+
+COMPILE_MODELS = ("nasnet_a", "inception_v3")
+FAST_MODELS = ("squeezenet",)
+DEVICE = "v100"
+
+
+def _commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def bench_compile(models: tuple[str, ...]) -> dict:
+    """Cold compile, warm (cached) recompile, artifact reload — per model."""
+    metrics: dict[str, dict] = {}
+    for model in models:
+        engine = Engine(DEVICE)
+        start = time.perf_counter()
+        compiled = engine.compile_model(model)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        engine.compile_model(model)
+        warm_s = time.perf_counter() - start
+
+        with tempfile.TemporaryDirectory() as tmp:
+            artifact = Path(tmp) / f"{model}.json"
+            compiled.save(artifact)
+            start = time.perf_counter()
+            reloaded = CompiledModel.load(artifact)
+            reload_s = time.perf_counter() - start
+        assert not reloaded.stats.searched, "artifact reload must not re-search"
+
+        metrics[model] = {
+            "cold_compile_s": round(cold_s, 4),
+            "warm_compile_s": round(warm_s, 6),
+            "artifact_reload_s": round(reload_s, 4),
+            # Deterministic across machines: the simulated schedule quality.
+            "latency_ms": round(compiled.latency_ms(), 4),
+            "operators": compiled.stats.operators_out,
+            "stages": {
+                stage.stage: round(stage.elapsed_s, 4)
+                for stage in compiled.stats.stages
+            },
+        }
+        assert engine.stats.cache_hits >= 1, "warm compile must hit the cache"
+    return metrics
+
+
+def bench_serving(fast: bool) -> dict:
+    """One fixed seeded scenario; every metric is virtual-clock deterministic."""
+    num_requests = 60 if fast else 240
+    traffic = TrafficConfig(
+        model="squeezenet", pattern="bursty", num_requests=num_requests,
+        rate_rps=2000.0, burst_size=24, burst_gap_ms=25.0, slo_ms=25.0, seed=0,
+    ).capped_to(8)
+    serving = ServingConfig(
+        model="squeezenet", fleet="k80:1,v100:2", batch_sizes=(1, 2, 4, 8),
+        policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0),
+        admission="deadline",
+    )
+    start = time.perf_counter()
+    report = run_serving(traffic, serving)
+    wall_s = time.perf_counter() - start
+    slo = report.slo_summary
+    return {
+        "requests": report.num_requests,
+        "batches": report.num_batches,
+        "throughput_rps": round(report.throughput_rps, 3),
+        "samples_per_s": round(report.throughput_samples_per_s, 3),
+        "p50_ms": round(report.latency.p50_ms, 4),
+        "p95_ms": round(report.latency.p95_ms, 4),
+        "p99_ms": round(report.latency.p99_ms, 4),
+        "mean_queue_ms": round(report.queue_delay.mean_ms, 4),
+        "attainment": round(slo.attainment_rate, 4),
+        "rejected": slo.rejected,
+        "harness_wall_s": round(wall_s, 3),
+    }
+
+
+def append_point(path: Path, entry: dict, dry_run: bool) -> None:
+    history = json.loads(path.read_text()) if path.exists() else []
+    if not isinstance(history, list):
+        raise SystemExit(f"{path} must contain a JSON list")
+    history.append(entry)
+    rendered = json.dumps(history, indent=2, sort_keys=True) + "\n"
+    if dry_run:
+        print(f"--- {path.name} (dry run, not written) ---")
+        print(json.dumps(entry, indent=2, sort_keys=True))
+    else:
+        path.write_text(rendered)
+        print(f"appended data point {len(history)} to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI smoke mode (also via REPRO_BENCH_FAST=1)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the data points without writing the files")
+    parser.add_argument("--output-dir", default=REPO_ROOT, type=Path,
+                        help="where BENCH_*.json live (default: repo root)")
+    args = parser.parse_args(argv)
+    fast = args.fast or os.environ.get("REPRO_BENCH_FAST") == "1"
+
+    stamp = {
+        "commit": _commit(),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    if fast:
+        stamp["fast"] = True
+
+    models = FAST_MODELS if fast else COMPILE_MODELS
+    compile_entry = dict(stamp, metrics=bench_compile(models))
+    append_point(args.output_dir / "BENCH_compile.json", compile_entry, args.dry_run)
+
+    serving_entry = dict(stamp, metrics=bench_serving(fast))
+    append_point(args.output_dir / "BENCH_serving.json", serving_entry, args.dry_run)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Validate an ``ios-bench serve --trace`` JSON and assert its content.
+
+Beyond the schema check (:func:`repro.obs.validate_chrome_trace` — required
+fields, known phases, balanced async pairs, named rows), the CI trace-smoke
+job asserts the trace actually contains what the observability layer
+promises.  Each ``--require`` adds one content check:
+
+* ``compile``  — compile-stage spans (category ``compile``);
+* ``requests`` — per-request lifecycle async pairs (category ``request``);
+* ``kernels``  — kernel-level spans on per-worker stream tracks
+  (category ``kernel``);
+* ``counters`` — queue-depth counter samples.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/check_trace.py trace.json
+    PYTHONPATH=src python tools/check_trace.py trace.json \
+        --require compile --require requests --require kernels
+
+Exit status 0 when everything passes, 1 otherwise, one line per failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+
+def _spans_with_category(events: list[dict], category: str) -> int:
+    return sum(
+        1 for event in events if event["ph"] == "X" and event.get("cat") == category
+    )
+
+
+def _content_errors(events: list[dict], requirements: list[str]) -> list[str]:
+    """Check each ``--require`` keyword against the event list."""
+    errors: list[str] = []
+    for requirement in requirements:
+        if requirement == "compile":
+            if not _spans_with_category(events, "compile"):
+                errors.append("no compile-stage spans (category 'compile')")
+        elif requirement == "requests":
+            begins = sum(
+                1 for event in events
+                if event["ph"] == "b" and event.get("cat") == "request"
+            )
+            if not begins:
+                errors.append("no per-request lifecycle pairs (category 'request')")
+        elif requirement == "kernels":
+            if not _spans_with_category(events, "kernel"):
+                errors.append("no kernel-level spans (category 'kernel')")
+        elif requirement == "counters":
+            if not any(event["ph"] == "C" for event in events):
+                errors.append("no counter samples")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace JSON file to check")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        choices=["compile", "requests", "kernels", "counters"],
+        help="content the trace must contain (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        data = json.loads(Path(args.path).read_text())
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"error: {args.path} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate_chrome_trace(data)
+    if not errors:
+        errors = _content_errors(data["traceEvents"], args.require)
+    if errors:
+        print(f"{args.path}: FAILED ({len(errors)} problem(s))")
+        for problem in errors:
+            print(f"  - {problem}")
+        return 1
+    checked = f" + content ({', '.join(args.require)})" if args.require else ""
+    print(f"{args.path}: OK — schema{checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
