@@ -1,0 +1,135 @@
+"""Benchmark: live observability — alerting lead time and sampling budgets.
+
+Drives the observability PR's acceptance scenario end-to-end and asserts its
+two promises:
+
+* **The burn-rate alert leads the report.**  On the bursty-overload scenario
+  from ``bench_slo_serving`` (squeezenet on an elastic single-K80 pool,
+  deadline admission), the final report's SLO attainment lands below the 95%
+  target — and the ``slo-burn-rate`` rule fires at a window close *inside*
+  the run, long before that report exists.
+* **Tail sampling holds its budget without losing the tail.**  A large
+  seeded bursty replay (hundreds of thousands of trace events in the default
+  configuration, ~a million under ``IOS_BENCH_FULL=1``) recorded through a
+  :class:`~repro.obs.SamplingTracer` keeps the peak of retained request
+  records at or under the span budget while retaining **100%** of the
+  SLO-missed request lifecycles, and the sampled trace still passes the
+  exporter's schema validation.
+"""
+
+from conftest import fast_run, full_run
+
+from repro.obs import (
+    SamplingConfig,
+    SamplingTracer,
+    default_alert_rules,
+    validate_chrome_trace,
+)
+from repro.obs.export import chrome_trace
+from repro.serve import (
+    AutoscaleConfig,
+    BatchPolicy,
+    InferenceService,
+    ScheduleRegistry,
+    ServingConfig,
+    TrafficConfig,
+    TrafficGenerator,
+)
+
+MODEL = "squeezenet"
+DEVICE = "k80"
+LADDER = (1, 2, 4, 8)
+SLO_MS = 20.0
+WINDOW_MS = 20.0
+AUTOSCALE = AutoscaleConfig(min_workers=1, max_workers=3, scale_up_backlog_ms=5.0)
+
+
+def _traffic(num_requests: int, seed: int = 0) -> TrafficConfig:
+    return TrafficConfig(
+        model=MODEL,
+        pattern="bursty",
+        num_requests=num_requests,
+        rate_rps=2000.0,
+        burst_size=64,
+        burst_gap_ms=30.0,
+        slo_ms=SLO_MS,
+        seed=seed,
+    ).capped_to(max(LADDER))
+
+
+def _service(**overrides) -> InferenceService:
+    config = ServingConfig(
+        model=MODEL,
+        devices=(DEVICE,),
+        batch_sizes=LADDER,
+        policy=BatchPolicy(max_batch_size=max(LADDER), max_wait_ms=2.0),
+        admission="deadline",
+        autoscale=AUTOSCALE,
+    )
+    return InferenceService(config, registry=ScheduleRegistry(), **overrides)
+
+
+def test_burn_rate_alert_leads_the_final_report(benchmark):
+    num_requests = 640 if full_run() else (160 if fast_run() else 320)
+
+    def serve():
+        service = _service(
+            alerts=default_alert_rules(slo_ms=SLO_MS), window_ms=WINDOW_MS
+        )
+        return service.run(TrafficGenerator(_traffic(num_requests)).generate())
+
+    report = benchmark.pedantic(serve, rounds=1, iterations=1)
+    print()
+    print(report.describe())
+    slo = report.slo_summary
+
+    # The scenario really is overloaded: the report lands below target.
+    assert slo.attainment_rate < 0.95
+    firing = [
+        event for event in report.alerts
+        if event.rule == "slo-burn-rate" and event.state == "firing"
+    ]
+    assert firing, "the burn-rate rule must fire on the overload scenario"
+    # The alert leads: it fired at a window close inside the run, before the
+    # final report's attainment number existed.
+    assert firing[0].time_ms < report.makespan_ms
+    # A firing alert pre-empts the backlog watermark: the pool grew.
+    assert any(event.action == "up" for event in report.scale_events)
+
+
+def test_tail_sampling_holds_budget_and_keeps_every_slo_miss(benchmark):
+    # ~12 trace events per request: the full run replays ~a million events.
+    num_requests = 80_000 if full_run() else (2_000 if fast_run() else 8_000)
+    # Well under the ~2 records/request the run emits, but above the
+    # enforceable floor: deadline admission makes most of this overload
+    # traffic a must-keep (rejections + SLO misses are never evicted), and
+    # still-open lifecycles cannot be shed before their outcome is known.
+    budget = (num_requests * 5) // 4
+
+    def serve():
+        tracer = SamplingTracer(
+            SamplingConfig(max_records=budget, head_every=100, track_budget=2_000)
+        )
+        service = _service(tracer=tracer)
+        report = service.run(TrafficGenerator(_traffic(num_requests)).generate())
+        return tracer, report
+
+    tracer, report = benchmark.pedantic(serve, rounds=1, iterations=1)
+    meta = tracer.sampling_metadata()
+    print()
+    print(f"sampling: {meta}")
+
+    requests, records = meta["requests"], meta["records"]
+    # The budget held at its peak, not just at the end of the run...
+    assert records["peak_request_records"] <= budget
+    # ...while it really did bind (discretionary lifecycles were shed)...
+    assert requests["dropped"] > 0
+    # ...and no SLO-missed request was lost: every violation in the final
+    # report has its full lifecycle in the sampled trace.
+    assert report.slo_summary.violations > 0
+    assert requests["slo_miss_kept"] == report.slo_summary.violations
+    assert requests["rejected_kept"] == report.slo_summary.rejected
+
+    document = chrome_trace(tracer)
+    assert validate_chrome_trace(document) == []
+    assert document["otherData"]["sampling"] == meta

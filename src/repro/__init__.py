@@ -45,7 +45,7 @@ from .core import (
 )
 from .engine import CompiledModel, Engine, get_engine
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "TensorShape",

@@ -20,6 +20,8 @@ figures reuse the cache.  Examples::
     ios-bench serve --slo 20 --admission deadline --autoscale 1:3
     ios-bench serve --slo 20 --compare               # admission-policy table
     ios-bench serve --trace trace.json --metrics metrics.json
+    ios-bench serve --slo 20 --watch --alerts        # live dashboard + alerting
+    ios-bench serve --trace t.json --trace-sample budget=20000,head=50
     ios-bench trace trace.json                       # validate + summarise
 """
 
@@ -200,6 +202,25 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", default=None, metavar="FILE",
                         help="write the run's metrics-registry snapshot as JSON "
                         "(counters, gauges, histogram quantiles)")
+    parser.add_argument("--watch", action="store_true",
+                        help="print one live dashboard line per metrics window "
+                        "to stderr (rps, p99, SLO attainment, queue depth, "
+                        "firing alerts)")
+    parser.add_argument("--window-ms", type=float, default=50.0, metavar="MS",
+                        help="live-metrics window width in virtual ms "
+                        "(default: 50; used by --watch/--alerts)")
+    parser.add_argument("--alerts", nargs="?", const="default", default=None,
+                        metavar="SPEC",
+                        help="evaluate alert rules on every closed metrics "
+                        "window, e.g. 'burn-rate=0.95,queue=32,p99=25'; bare "
+                        "--alerts uses the default rule set (transitions land "
+                        "in the report and the trace)")
+    parser.add_argument("--trace-sample", nargs="?", const="default",
+                        default=None, metavar="SPEC",
+                        help="sample the recorded trace under a span budget, "
+                        "e.g. 'budget=20000,head=50,track=4000'; bare "
+                        "--trace-sample uses defaults; SLO-missed and "
+                        "rejected requests are always kept (requires --trace)")
     args = parser.parse_args(argv)
 
     if args.requests <= 0:
@@ -254,11 +275,19 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error(f"--batch-sizes needs at least one positive size, got {args.batch_sizes!r}")
     if len(set(batch_sizes)) != len(batch_sizes):
         parser.error(f"--batch-sizes must not repeat a size, got {args.batch_sizes!r}")
+    if args.window_ms <= 0:
+        parser.error(f"--window-ms must be positive, got {args.window_ms}")
+    if args.trace_sample is not None and args.trace is None:
+        parser.error("--trace-sample configures the trace recorder; "
+                     "add --trace FILE")
     if args.csv_dir is not None and not args.compare:
         print("note: --csv-dir only writes the --compare table; ignoring it",
               file=sys.stderr)
     if args.compare and (args.trace is not None or args.metrics is not None):
         print("note: --trace/--metrics record a single run; ignoring them "
+              "with --compare", file=sys.stderr)
+    if args.compare and (args.alerts is not None or args.watch):
+        print("note: --alerts/--watch observe a single run; ignoring them "
               "with --compare", file=sys.stderr)
     if args.compare:
         if args.no_batching:
@@ -358,12 +387,32 @@ def serve_main(argv: list[str] | None = None) -> int:
             passes=args.passes, router=args.router, admission=args.admission,
             autoscale=autoscale, **pool,
         )
+    alerts = None
+    if args.alerts is not None:
+        from ..obs import parse_alert_rules
+
+        try:
+            alerts = parse_alert_rules(args.alerts, slo_ms=args.slo)
+        except ValueError as error:
+            parser.error(f"bad --alerts spec: {error}")
     tracer = None
     if args.trace is not None:
-        from ..obs import Tracer
+        if args.trace_sample is not None:
+            from ..obs import SamplingTracer, parse_sampling_spec
 
-        tracer = Tracer()
-    report = run_serving(traffic, serving, tracer=tracer)
+            try:
+                tracer = SamplingTracer(parse_sampling_spec(args.trace_sample))
+            except ValueError as error:
+                parser.error(f"bad --trace-sample spec: {error}")
+        else:
+            from ..obs import Tracer
+
+            tracer = Tracer()
+    report = run_serving(
+        traffic, serving, tracer=tracer,
+        alerts=alerts, watch=True if args.watch else None,
+        window_ms=args.window_ms,
+    )
     print(report.describe())
     if tracer is not None:
         from ..obs import write_chrome_trace
@@ -371,6 +420,14 @@ def serve_main(argv: list[str] | None = None) -> int:
         path = write_chrome_trace(tracer, args.trace)
         print(f"wrote {path} ({len(tracer)} records; open in ui.perfetto.dev)",
               file=sys.stderr)
+        metadata = getattr(tracer, "sampling_metadata", None)
+        if metadata is not None:
+            meta = metadata()
+            kept = meta["requests"]
+            print(f"  sampled: kept {kept['kept']}/{kept['total']} requests; "
+                  f"{meta['records']['kept']} records kept, "
+                  f"{meta['records']['dropped']} dropped "
+                  f"(request-span budget {meta['budget']})", file=sys.stderr)
     if args.metrics is not None and report.metrics is not None:
         metrics_path = report.metrics.write(args.metrics)
         print(f"wrote {metrics_path}", file=sys.stderr)
@@ -382,7 +439,10 @@ def trace_main(argv: list[str] | None = None) -> int:
 
     Validates a Chrome-trace JSON file (as written by ``ios-bench serve
     --trace``) against the exporter's schema and prints a compact summary:
-    event counts per phase, the traced time extent, and the track layout.
+    event counts per phase, the traced time extent, the track layout, every
+    counter series with its last sampled values, and — for traces recorded
+    through a :class:`~repro.obs.SamplingTracer` — the kept/dropped span
+    accounting embedded in ``otherData.sampling``.
     """
     import json
     from collections import Counter
@@ -444,6 +504,33 @@ def trace_main(argv: list[str] | None = None) -> int:
             process = process_names.get(event["pid"], f"pid {event['pid']}")
             count = rows.get((event["pid"], event["tid"]), 0)
             print(f"    {process}/{event['args']['name']}: {count} events")
+    # Counter series: last sampled values, in first-seen order.  (These used
+    # to be lumped into the bare phase count and never itemised.)
+    counters: dict[str, dict] = {}
+    for event in events:
+        if event["ph"] == "C":
+            counters[event["name"]] = event.get("args", {})
+    if counters:
+        print(f"  counters: {len(counters)} series (last values)")
+        for name, values in counters.items():
+            rendered = ", ".join(
+                f"{key}={value:g}" for key, value in sorted(values.items())
+            )
+            print(f"    {name}: {rendered}")
+    sampling = data.get("otherData", {}).get("sampling") if isinstance(
+        data.get("otherData"), dict
+    ) else None
+    if sampling:
+        requests = sampling.get("requests", {})
+        records = sampling.get("records", {})
+        print(f"  sampling: kept {requests.get('kept', 0)}/"
+              f"{requests.get('total', 0)} requests "
+              f"({requests.get('slo_miss_kept', 0)} SLO-miss, "
+              f"{requests.get('rejected_kept', 0)} rejected, "
+              f"{requests.get('head_kept', 0)} head); "
+              f"{records.get('kept', 0)} records kept, "
+              f"{records.get('dropped', 0)} dropped "
+              f"(budget {sampling.get('budget')})")
     return 0
 
 

@@ -11,10 +11,30 @@ engine :class:`~repro.engine.engine.StageTiming`, serving
   served it.  Disabled tracing is a falsy no-op (:data:`NULL_TRACER`).
 * :mod:`repro.obs.metrics` — typed counters/gauges/histograms with
   deterministic snapshots; the single home of a serving run's tallies.
+* :mod:`repro.obs.timeseries` — windowed live metrics: a drop-in
+  :class:`TimeSeriesRegistry` bucketing observations into fixed virtual-time
+  windows (bounded ring, streaming quantile sketches) behind the same
+  call-site API.
+* :mod:`repro.obs.alerts` — declarative alert rules (threshold, multi-window
+  SLO burn rate, queue saturation) evaluated on window close inside the
+  serving loop.
+* :mod:`repro.obs.sampling` — head + tail trace sampling: bounded traces
+  that always retain SLO-missed/rejected/slowest lifecycles.
 * :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON rendering plus the
   schema checker behind ``ios-bench trace`` and CI's trace-smoke job.
 """
 
+from .alerts import (
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+    BurnRateRule,
+    QueueSaturationRule,
+    ThresholdRule,
+    alerts_snapshot,
+    default_alert_rules,
+    parse_alert_rules,
+)
 from .export import (
     chrome_trace,
     chrome_trace_json,
@@ -23,6 +43,7 @@ from .export import (
 )
 from .metrics import (
     HISTOGRAM_QUANTILES,
+    QUANTILE_DECIMALS,
     Counter,
     Gauge,
     Histogram,
@@ -30,21 +51,53 @@ from .metrics import (
     MetricsRegistry,
     quantiles_reference,
 )
+from .sampling import SamplingConfig, SamplingTracer, parse_sampling_spec
+from .timeseries import (
+    StreamingQuantile,
+    TimeSeriesRegistry,
+    WatchRenderer,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+    WindowedSeries,
+    WindowSpan,
+)
 from .trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
 
 __all__ = [
     "HISTOGRAM_QUANTILES",
     "NULL_TRACER",
+    "QUANTILE_DECIMALS",
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
+    "BurnRateRule",
     "Counter",
     "Gauge",
     "Histogram",
     "Metric",
     "MetricsRegistry",
     "NullTracer",
+    "QueueSaturationRule",
+    "SamplingConfig",
+    "SamplingTracer",
+    "StreamingQuantile",
+    "ThresholdRule",
+    "TimeSeriesRegistry",
     "TraceRecord",
     "Tracer",
+    "WatchRenderer",
+    "WindowSpan",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
+    "WindowedSeries",
+    "alerts_snapshot",
     "chrome_trace",
     "chrome_trace_json",
+    "default_alert_rules",
+    "parse_alert_rules",
+    "parse_sampling_spec",
     "quantiles_reference",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -110,13 +110,20 @@ def chrome_trace(tracer: Tracer) -> dict:
             event["args"] = dict(record.args)
         events.append(event)
 
+    other: dict = {
+        "generator": "repro.obs",
+        "trackCount": len(tids),
+    }
+    # A sampling tracer reports what it kept/dropped; embed that so
+    # ``ios-bench trace`` can summarise a sampled trace honestly.
+    metadata = getattr(tracer, "sampling_metadata", None)
+    if metadata is not None:
+        other["sampling"] = dict(metadata())
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "generator": "repro.obs",
-            "trackCount": len(tids),
-        },
+        "otherData": other,
     }
 
 

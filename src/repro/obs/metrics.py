@@ -27,11 +27,14 @@ from typing import Mapping, Sequence
 import numpy as np
 
 __all__ = [
+    "HISTOGRAM_QUANTILES",
+    "QUANTILE_DECIMALS",
     "Counter",
     "Gauge",
     "Histogram",
     "Metric",
     "MetricsRegistry",
+    "quantiles_reference",
 ]
 
 #: Internal series key: labels as a sorted tuple of (name, value) pairs.
@@ -39,6 +42,12 @@ _LabelKey = tuple
 
 #: Histogram quantiles exported by snapshots, in export order.
 HISTOGRAM_QUANTILES = (50.0, 95.0, 99.0)
+
+#: Decimal places snapshot quantiles round to.  ``np.percentile`` interpolates
+#: between observations, and the last bits of that arithmetic vary across
+#: platforms/BLAS builds — rounding to fixed precision keeps
+#: :meth:`MetricsRegistry.to_json` byte-stable everywhere.
+QUANTILE_DECIMALS = 6
 
 
 def _label_key(labels: Mapping[str, object]) -> _LabelKey:
@@ -201,7 +210,7 @@ class Histogram(Metric):
             "mean": float(sum(values)) / len(values),
         }
         for q in HISTOGRAM_QUANTILES:
-            summary[f"p{q:g}"] = float(np.percentile(values, q))
+            summary[f"p{q:g}"] = round(float(np.percentile(values, q)), QUANTILE_DECIMALS)
         return summary
 
 
@@ -286,4 +295,7 @@ class MetricsRegistry:
 
 def quantiles_reference(values: Sequence[float], qs=HISTOGRAM_QUANTILES) -> dict[str, float]:
     """Numpy-computed reference quantiles (what snapshot arithmetic must match)."""
-    return {f"p{q:g}": float(np.percentile(list(values), q)) for q in qs}
+    return {
+        f"p{q:g}": round(float(np.percentile(list(values), q)), QUANTILE_DECIMALS)
+        for q in qs
+    }

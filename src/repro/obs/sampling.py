@@ -1,0 +1,375 @@
+"""Head + tail trace sampling: bounded traces that keep the interesting spans.
+
+The plain :class:`~repro.obs.trace.Tracer` keeps every record — perfect for a
+thousand requests, unbounded at trace-replay scale (a million-request run
+emits ~10 records per request lifecycle alone).  Production tracers solve
+this with *sampling*; the useful twist for an SLO-driven service is that the
+sampling must be **tail-based**: the spans worth keeping are exactly the ones
+you cannot pick at arrival time — the requests that missed their deadline,
+were shed by admission, or landed in the latency tail.
+
+:class:`SamplingTracer` buffers each request lifecycle (the async-span group
+correlated by request id) until its root span closes, then decides:
+
+* **must-keep** — the outcome says ``rejected``, or the measured lifecycle
+  latency exceeded the request's deadline (an SLO miss).  These are always
+  retained, budget or not.
+* **head sample** — request id divisible by ``head_every``: a deterministic
+  1-in-N baseline of *normal* traffic, so the trace still shows what healthy
+  requests look like.
+* **tail candidates** — everything else competes for the remaining budget;
+  when the retained-record budget overflows, the *fastest non-head* groups
+  evict first, so the slowest (p99) lifecycles survive.
+
+Non-request records (queue-depth counters, batch instants, kernel spans)
+decimate per track with a stride-doubling reservoir: each track keeps at most
+``track_budget`` records, and whenever a track fills, every other kept record
+drops and the sampling stride doubles — bounded memory, roughly uniform
+time coverage.  Alert and autoscale instants are exempt (rare and precious).
+
+Everything is deterministic — decisions depend only on request ids, virtual
+timestamps and arrival order — so a sampled trace of a seeded run is
+byte-reproducible, and :meth:`SamplingTracer.sampling_metadata` reports
+exactly what was kept and dropped (surfaced by ``ios-bench trace``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+from .trace import ASYNC_BEGIN, ASYNC_END, TraceRecord, Tracer
+
+__all__ = ["SamplingConfig", "SamplingTracer", "parse_sampling_spec"]
+
+#: Instant categories never decimated (rare, high-signal).
+_EXEMPT_CATEGORIES = frozenset({"alert", "autoscale"})
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Knobs of the :class:`SamplingTracer`.
+
+    ``max_records`` budgets the *request-lifecycle* records retained; SLO-miss
+    and rejected groups are always kept even when they alone exceed it (the
+    guarantee that matters is never losing a miss).  ``head_every=N`` keeps a
+    deterministic 1-in-N baseline of healthy requests (0 disables head
+    sampling).  ``track_budget`` caps every non-request track independently.
+    """
+
+    max_records: int = 50_000
+    head_every: int = 100
+    keep_slo_miss: bool = True
+    keep_rejected: bool = True
+    track_budget: int = 4_000
+
+    def __post_init__(self):
+        if self.max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {self.max_records}")
+        if self.head_every < 0:
+            raise ValueError(f"head_every must be >= 0, got {self.head_every}")
+        if self.track_budget < 2:
+            raise ValueError(f"track_budget must be >= 2, got {self.track_budget}")
+
+
+class _TrackReservoir:
+    """Stride-doubling decimator: bounded, roughly uniform time coverage."""
+
+    __slots__ = ("budget", "stride", "seen", "kept", "dropped")
+
+    def __init__(self, budget: int):
+        self.budget = budget
+        self.stride = 1
+        self.seen = 0
+        self.kept: list[tuple[int, TraceRecord]] = []
+        self.dropped = 0
+
+    def offer(self, seq: int, record: TraceRecord) -> None:
+        index = self.seen
+        self.seen += 1
+        if index % self.stride:
+            self.dropped += 1
+            return
+        self.kept.append((seq, record))
+        if len(self.kept) >= self.budget:
+            # Halve: drop every other kept record, double the stride.
+            self.dropped += len(self.kept) - (len(self.kept) + 1) // 2
+            self.kept = self.kept[::2]
+            self.stride *= 2
+
+
+class SamplingTracer(Tracer):
+    """A :class:`~repro.obs.trace.Tracer` that samples instead of hoarding.
+
+    Drop-in for the serving loop: same recording API, same ``records``
+    contract (the property merges every retained record back into global
+    recording order), so :func:`~repro.obs.export.chrome_trace` renders a
+    sampled trace unchanged — whole lifecycle groups are kept or dropped
+    atomically, so async begin/end pairs stay balanced and the exporter's
+    validator passes.
+    """
+
+    def __init__(self, config: SamplingConfig | None = None, **kwargs):
+        self.config = config or SamplingConfig()
+        self._seq = 0
+        #: Closed, retained records: correlation → [(seq, record), ...].
+        self._kept_groups: dict[int, list[tuple[int, TraceRecord]]] = {}
+        #: Open lifecycle buffers: correlation → (root name, [(seq, record)]).
+        self._open: dict[int, tuple[str, list[tuple[int, TraceRecord]]]] = {}
+        #: Eviction heap over discretionary groups: (is_head, latency, corr).
+        self._evictable: list[tuple[int, float, int]] = []
+        self._tracks: dict[str, _TrackReservoir] = {}
+        self._exempt: list[tuple[int, TraceRecord]] = []
+        self._kept_request_records = 0
+        self._stats = {
+            "requests_total": 0, "requests_kept": 0, "requests_dropped": 0,
+            "slo_miss_kept": 0, "rejected_kept": 0, "head_kept": 0,
+            "records_dropped": 0, "peak_retained": 0, "peak_request_records": 0,
+        }
+        super().__init__(**kwargs)
+
+    # ------------------------------------------------------------ record sink
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Every retained record, merged back into recording order."""
+        merged: list[tuple[int, TraceRecord]] = []
+        for group in self._kept_groups.values():
+            merged.extend(group)
+        for _, group in self._open.values():
+            merged.extend(group)
+        for reservoir in self._tracks.values():
+            merged.extend(reservoir.kept)
+        merged.extend(self._exempt)
+        merged.sort(key=lambda pair: pair[0])
+        return [record for _, record in merged]
+
+    @records.setter
+    def records(self, value) -> None:
+        # The base class assigns ``records = []`` on construction/clear; a
+        # sampling tracer interprets that as a full reset.
+        if value:
+            raise ValueError("a SamplingTracer's records cannot be assigned")
+        self._seq = 0
+        self._kept_groups.clear()
+        self._open.clear()
+        self._evictable.clear()
+        self._tracks.clear()
+        self._exempt.clear()
+        self._kept_request_records = 0
+        for key in self._stats:
+            self._stats[key] = 0
+
+    def clear(self) -> None:
+        super().clear()
+        self.records = []
+
+    def __len__(self) -> int:
+        return (
+            self._kept_request_records
+            + sum(len(group) for _, group in self._open.values())
+            + sum(len(reservoir.kept) for reservoir in self._tracks.values())
+            + len(self._exempt)
+        )
+
+    # -------------------------------------------------------------- ingestion
+    def _ingest(self, record: TraceRecord) -> None:
+        seq = self._seq
+        self._seq += 1
+        if record.category == "request" and record.correlation is not None:
+            self._ingest_request(seq, record)
+        elif record.category in _EXEMPT_CATEGORIES:
+            self._exempt.append((seq, record))
+        else:
+            reservoir = self._tracks.get(record.track)
+            if reservoir is None:
+                reservoir = _TrackReservoir(self.config.track_budget)
+                self._tracks[record.track] = reservoir
+            reservoir.offer(seq, record)
+        retained = len(self)
+        if retained > self._stats["peak_retained"]:
+            self._stats["peak_retained"] = retained
+        request_records = self._kept_request_records + self._open_records()
+        if request_records > self._stats["peak_request_records"]:
+            self._stats["peak_request_records"] = request_records
+
+    def _open_records(self) -> int:
+        return sum(len(group) for _, group in self._open.values())
+
+    def _ingest_request(self, seq: int, record: TraceRecord) -> None:
+        correlation = record.correlation
+        entry = self._open.get(correlation)
+        if entry is None:
+            # First record of a lifecycle: its name is the root span's name.
+            self._open[correlation] = (record.name, [(seq, record)])
+            self._stats["requests_total"] += 1
+            # An opening buffer counts against the budget immediately — evict
+            # settled discretionary groups now, so the *peak* of retained
+            # request records honours max_records, not just the settled count.
+            self._enforce_budget()
+            return
+        root_name, group = entry
+        group.append((seq, record))
+        if record.kind == ASYNC_END and record.name == root_name:
+            del self._open[correlation]
+            self._decide(correlation, group)
+        else:
+            self._enforce_budget()
+
+    # --------------------------------------------------------------- decisions
+    def _decide(self, correlation: int, group: list[tuple[int, TraceRecord]]) -> None:
+        """Keep or drop one closed lifecycle group, then enforce the budget."""
+        config = self.config
+        root_begin = next(
+            record for _, record in group
+            if record.kind == ASYNC_BEGIN and record.correlation == correlation
+        )
+        root_end = group[-1][1]
+        end_args = root_end.args or {}
+        rejected = end_args.get("outcome") == "rejected"
+        latency_ms = root_end.ts_ms - root_begin.ts_ms
+        deadline = (root_begin.args or {}).get("deadline_ms")
+        slo_miss = (
+            not rejected and deadline is not None and latency_ms > float(deadline)
+        )
+        must_keep = (rejected and config.keep_rejected) or (
+            slo_miss and config.keep_slo_miss
+        )
+        is_head = bool(config.head_every) and correlation % config.head_every == 0
+        self._kept_groups[correlation] = group
+        self._kept_request_records += len(group)
+        if must_keep:
+            self._stats["rejected_kept" if rejected else "slo_miss_kept"] += 1
+        else:
+            if is_head:
+                self._stats["head_kept"] += 1
+            heapq.heappush(self._evictable, (int(is_head), latency_ms, correlation))
+        self._stats["requests_kept"] += 1
+        self._enforce_budget()
+
+    def _enforce_budget(self) -> None:
+        """Evict the fastest non-head discretionary groups over budget.
+
+        Must-keeps are never candidates.  Still-open lifecycle buffers count
+        against the budget too (and this runs as they grow), so the *peak* of
+        retained request records — not just the settled count — honours
+        ``max_records`` whenever discretionary groups remain to shed.
+        """
+        open_records = self._open_records()
+        while (
+            self._kept_request_records + open_records > self.config.max_records
+            and self._evictable
+        ):
+            is_head_key, _, victim = heapq.heappop(self._evictable)
+            evicted = self._kept_groups.pop(victim, None)
+            if evicted is None:
+                continue  # stale heap entry
+            self._kept_request_records -= len(evicted)
+            self._stats["requests_kept"] -= 1
+            self._stats["requests_dropped"] += 1
+            self._stats["records_dropped"] += len(evicted)
+            if is_head_key:
+                self._stats["head_kept"] -= 1
+
+    # ------------------------------------------------------------- recording
+    def add_span(self, name, track, start_ms, end_ms, *, category="", args=None):
+        self._ingest(
+            TraceRecord(
+                kind="span", name=name, track=track, ts_ms=start_ms,
+                dur_ms=max(0.0, end_ms - start_ms), category=category, args=args,
+            )
+        )
+
+    def instant(self, name, track, ts_ms=None, *, category="", args=None):
+        self._ingest(
+            TraceRecord(
+                kind="instant", name=name, track=track,
+                ts_ms=self.now_ms() if ts_ms is None else ts_ms,
+                category=category, args=args,
+            )
+        )
+
+    def counter(self, name, track, ts_ms, values):
+        self._ingest(
+            TraceRecord(
+                kind="counter", name=name, track=track, ts_ms=ts_ms,
+                args=dict(values),
+            )
+        )
+
+    def async_begin(self, name, track, correlation, ts_ms, *, category="", args=None):
+        self._ingest(
+            TraceRecord(
+                kind="async_begin", name=name, track=track, ts_ms=ts_ms,
+                category=category, correlation=correlation, args=args,
+            )
+        )
+
+    def async_end(self, name, track, correlation, ts_ms, *, category="", args=None):
+        self._ingest(
+            TraceRecord(
+                kind="async_end", name=name, track=track, ts_ms=ts_ms,
+                category=category, correlation=correlation, args=args,
+            )
+        )
+
+    # --------------------------------------------------------------- metadata
+    def sampling_metadata(self) -> Mapping[str, object]:
+        """What was kept and dropped (embedded in the exported trace)."""
+        stats = self._stats
+        track_dropped = sum(r.dropped for r in self._tracks.values())
+        return {
+            "budget": self.config.max_records,
+            "head_every": self.config.head_every,
+            "track_budget": self.config.track_budget,
+            "requests": {
+                "total": stats["requests_total"],
+                "kept": stats["requests_kept"],
+                "dropped": stats["requests_dropped"],
+                "head_kept": stats["head_kept"],
+                "slo_miss_kept": stats["slo_miss_kept"],
+                "rejected_kept": stats["rejected_kept"],
+            },
+            "records": {
+                "kept": len(self),
+                "dropped": stats["records_dropped"] + track_dropped,
+                "peak_retained": stats["peak_retained"],
+                "peak_request_records": stats["peak_request_records"],
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        stats = self._stats
+        return (
+            f"<SamplingTracer {len(self)} records retained, "
+            f"{stats['requests_kept']}/{stats['requests_total']} requests>"
+        )
+
+
+def parse_sampling_spec(spec: str) -> SamplingConfig:
+    """Build a :class:`SamplingConfig` from a CLI spec.
+
+    ``--trace-sample`` alone uses the defaults; otherwise a comma list of
+    ``budget=<records>``, ``head=<every Nth>``, ``track=<records per track>``,
+    e.g. ``--trace-sample budget=20000,head=50``.
+    """
+    spec = spec.strip()
+    if not spec or spec == "default":
+        return SamplingConfig()
+    values: dict[str, int] = {}
+    keys = {"budget": "max_records", "head": "head_every", "track": "track_budget"}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, raw = part.partition("=")
+        field = keys.get(key.strip())
+        if field is None:
+            raise ValueError(
+                f"unknown sampling key {key!r} (expected budget/head/track)"
+            )
+        try:
+            values[field] = int(raw)
+        except ValueError:
+            raise ValueError(f"sampling spec {part!r}: {raw!r} is not an integer")
+    return SamplingConfig(**values)

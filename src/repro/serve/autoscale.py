@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 from ..hardware.device import DeviceSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..obs.alerts import AlertEvent
     from .loop import LoopState
 
 __all__ = ["AutoscaleConfig", "Autoscaler", "ScaleEvent"]
@@ -195,6 +196,49 @@ class Autoscaler:
                 )
             ]
 
+        return self._maybe_scale_down(state, counts, mean_backlog)
+
+    def on_alert(self, state: "LoopState", event: "AlertEvent") -> list[ScaleEvent]:
+        """React to a firing alert by adding a worker immediately.
+
+        Burn-rate alerts lead the backlog watermark: the error budget starts
+        draining while per-worker backlog can still look acceptable, so a
+        firing alert is allowed to grow the pool without waiting for the next
+        scale check to cross ``scale_up_backlog_ms``.  Bounds and cooldown
+        still apply.
+        """
+        config = self.config
+        now = state.now_ms
+        pool = state.pool
+        workers = pool.workers
+        self._snapshot_declared(workers)
+        if now - self._last_action_ms < config.cooldown_ms:
+            return []
+        if len(workers) >= config.max_workers:
+            return []
+        counts: dict[str, int] = {}
+        for worker in workers:
+            counts[worker.device.name] = counts.get(worker.device.name, 0) + 1
+        worker = pool.add_worker(self._spawn_device(counts), now_ms=now)
+        self._last_action_ms = now
+        return [
+            ScaleEvent(
+                time_ms=now,
+                action="up",
+                reason=f"alert {event.rule} firing",
+                worker_id=worker.worker_id,
+                device=worker.device.name,
+                num_workers=len(pool.workers),
+            )
+        ]
+
+    def _maybe_scale_down(
+        self, state: "LoopState", counts: dict[str, int], mean_backlog: float
+    ) -> list[ScaleEvent]:
+        config = self.config
+        now = state.now_ms
+        pool = state.pool
+        workers = pool.workers
         # Zero mean backlog means every worker's horizon cleared; with an
         # empty queue the whole pool is provably idle.
         pool_idle = mean_backlog == 0.0 and state.pending_samples == 0

@@ -44,6 +44,9 @@ def run_serving(
     registry: ScheduleRegistry | None = None,
     warmup: bool = True,
     tracer: "Tracer | None" = None,
+    alerts=None,
+    watch=None,
+    window_ms: float = 50.0,
 ) -> ServingReport:
     """Generate traffic, serve it, and return the report.
 
@@ -51,14 +54,21 @@ def run_serving(
     a long-lived service; by default each call builds its own from
     ``serving.registry_root``.  ``tracer`` (a :class:`repro.obs.Tracer`)
     records the run — compile stages, request lifecycles, worker activity —
-    without changing the report.
+    without changing the report.  ``alerts`` (an
+    :class:`~repro.obs.AlertManager` or rule list) and ``watch`` (a
+    :class:`~repro.obs.WatchRenderer` or ``True``) turn on windowed live
+    metrics, evaluated every ``window_ms`` of virtual time; alert transitions
+    land in the report's ``alerts`` section.
     """
     if traffic.model != serving.model:
         raise ValueError(
             f"traffic is for model {traffic.model!r} but the service serves "
             f"{serving.model!r}"
         )
-    service = InferenceService(serving, registry=registry, tracer=tracer)
+    service = InferenceService(
+        serving, registry=registry, tracer=tracer,
+        alerts=alerts, watch=watch, window_ms=window_ms,
+    )
     if warmup:
         service.warmup()
     requests = TrafficGenerator(traffic).generate()

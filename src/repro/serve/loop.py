@@ -39,7 +39,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from ..obs.alerts import AlertEvent, AlertManager, AlertRule
 from ..obs.metrics import MetricsRegistry
+from ..obs.timeseries import TimeSeriesRegistry, WatchRenderer, WindowSpan
 from ..obs.trace import NULL_TRACER, Tracer
 from ..runtime.events import add_execution_spans
 from .admission import AdmissionPolicy, AdmitAll
@@ -77,6 +79,9 @@ class LoopResult:
     batch_size_counts: dict[int, int] = field(default_factory=dict)
     #: Autoscaler resizes, in event order.
     scale_events: list["ScaleEvent"] = field(default_factory=list)
+    #: Alert transitions (firing/resolved), in window order; only populated
+    #: when the loop runs with a :class:`~repro.obs.AlertManager`.
+    alerts: list[AlertEvent] = field(default_factory=list)
     #: The run's full metrics registry (queue depth, admission outcomes,
     #: latency/queue-delay distributions, worker utilisation series, ...).
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
@@ -213,7 +218,21 @@ class ServingLoop:
     metrics:
         The run's :class:`~repro.obs.MetricsRegistry`; defaults to a fresh
         one.  :meth:`run` clears it at the start of every run, so one loop
-        reused across runs reports each run separately.
+        reused across runs reports each run separately.  Pass a
+        :class:`~repro.obs.TimeSeriesRegistry` and every ``serve.*`` family
+        additionally buckets into virtual-time windows — the loop advances
+        the registry's clock as the event heap drains, so windows close in
+        event order.
+    alerts:
+        Optional :class:`~repro.obs.AlertManager` (or a rule list) evaluated
+        on every window close; requires a windowed ``metrics`` registry.
+        Transitions land in the result, the metrics
+        (``serve.alerts.events``), the trace (``alert`` instants), and —
+        for firing events — the autoscaler's ``on_alert`` hook.
+    watch:
+        Optional :class:`~repro.obs.WatchRenderer` printing one in-run
+        dashboard line per closed window; requires a windowed ``metrics``
+        registry.
     """
 
     def __init__(
@@ -228,6 +247,8 @@ class ServingLoop:
         autoscaler: "Autoscaler | None" = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        alerts: "AlertManager | Sequence[AlertRule] | None" = None,
+        watch: WatchRenderer | None = None,
     ):
         self.model = model
         self.policy = policy
@@ -239,6 +260,18 @@ class ServingLoop:
         self.autoscaler = autoscaler
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if alerts is not None and not isinstance(alerts, AlertManager):
+            alerts = AlertManager(alerts)
+        self.alerts = alerts
+        self.watch = watch
+        self._timeseries = (
+            self.metrics if isinstance(self.metrics, TimeSeriesRegistry) else None
+        )
+        if (alerts is not None or watch is not None) and self._timeseries is None:
+            raise ValueError(
+                "alerts/watch evaluate on window close; pass a "
+                "TimeSeriesRegistry as the loop's metrics"
+            )
         self.state = LoopState(self)
         # Mutable run state (reset per run).
         self._now_ms = 0.0
@@ -267,10 +300,15 @@ class ServingLoop:
         while self._heap:
             time_ms, kind, _, payload = heapq.heappop(self._heap)
             self._now_ms = time_ms
+            # Windows close *before* the event at time_ms processes — that
+            # event's observations belong to the window containing time_ms.
+            if self._timeseries is not None:
+                for window in self._timeseries.advance(time_ms):
+                    self._close_window(window)
             if kind == _ARRIVAL:
                 self._on_arrival(payload)
             elif kind == _COMPLETION:
-                self._on_completion()
+                self._on_completion(payload)
             elif kind == _TIMEOUT:
                 self._on_timeout(payload)
             else:
@@ -279,6 +317,8 @@ class ServingLoop:
 
     def _reset(self) -> None:
         self.admission.reset()
+        if self.alerts is not None:
+            self.alerts.reset()
         self._now_ms = 0.0
         self._pending = []
         self._pending_samples = 0
@@ -303,6 +343,10 @@ class ServingLoop:
         summaries read).  Registry-of-schedules counters are exported too so
         the metrics dump carries the compile-cache hit rate.
         """
+        # The last (partial) window never sees a later event; close it
+        # explicitly so trailing activity still reaches alerts and --watch.
+        if self._timeseries is not None:
+            self._close_window(self._timeseries.flush())
         result = self._result
         executions = self.metrics.counter(
             "serve.executions", "device executions per specialised batch size"
@@ -322,6 +366,43 @@ class ServingLoop:
 
     def _push(self, time_ms: float, kind: int, payload) -> None:
         heapq.heappush(self._heap, (time_ms, kind, next(self._seq), payload))
+
+    # ----------------------------------------------------------------- windows
+    def _close_window(self, window: WindowSpan) -> None:
+        """One closed time window: evaluate alerts, render the watch line."""
+        firing: list[str] = []
+        if self.alerts is not None:
+            transitions = self.alerts.evaluate(self._timeseries, window)
+            if transitions:
+                self._record_alert_events(transitions)
+            firing = self.alerts.firing()
+        if self.watch is not None:
+            self.watch.emit(self._timeseries, window, firing)
+
+    def _record_alert_events(self, events: Sequence[AlertEvent]) -> None:
+        """Land alert transitions in the result, metrics, trace and scaler."""
+        counter = self.metrics.counter(
+            "serve.alerts.events", "alert transitions, by rule and state"
+        )
+        for event in events:
+            self._result.alerts.append(event)
+            counter.inc(rule=event.rule, state=event.state)
+            if self.tracer:
+                self.tracer.instant(
+                    f"alert {event.rule}", "serving/alerts", event.time_ms,
+                    category="alert",
+                    args={
+                        "state": event.state,
+                        "value": round(event.value, 6),
+                        "threshold": event.threshold,
+                        "severity": event.severity,
+                        "message": event.message,
+                    },
+                )
+            if event.state == "firing" and self.autoscaler is not None:
+                self._record_scale_events(
+                    self.autoscaler.on_alert(self.state, event)
+                )
 
     # ------------------------------------------------------------------ events
     def _on_arrival(self, request: InferenceRequest) -> None:
@@ -347,6 +428,11 @@ class ServingLoop:
             self.metrics.counter(
                 "serve.admission.rejected", "arrivals shed, by policy reason"
             ).inc(reason=reason)
+            # A shed request is a spent error budget too: the burn-rate
+            # alert must see rejections, not just deadline overruns.
+            self.metrics.counter(
+                "serve.slo.missed", "requests that missed their SLO, by outcome"
+            ).inc(outcome="rejected")
             if tracer:
                 tracer.instant(
                     "reject", "serving/admission", self._now_ms,
@@ -392,8 +478,19 @@ class ServingLoop:
         elif preempt:
             self._close_batch(self._now_ms, "priority")
 
-    def _on_completion(self) -> None:
+    def _on_completion(self, records: "Sequence[RequestRecord] | None") -> None:
         self._inflight -= 1
+        # SLO outcomes count at *completion* time, so the attainment series
+        # lands in the window the client actually observed the result in.
+        met = self.metrics.counter("serve.slo.met", "requests that met their SLO")
+        missed = self.metrics.counter(
+            "serve.slo.missed", "requests that missed their SLO, by outcome"
+        )
+        for record in records or ():
+            if record.deadline_met:
+                met.inc()
+            else:
+                missed.inc(outcome="deadline")
         if self.autoscaler is not None:
             self._record_scale_events(self.autoscaler.evaluate(self.state))
 
@@ -543,6 +640,7 @@ class ServingLoop:
         queue_delay = self.metrics.histogram(
             "serve.queue_delay_ms", "arrival-to-dispatch request delay"
         )
+        chunk_records: list[RequestRecord] = []
         for request in chunk:
             record = RequestRecord(
                 request=request,
@@ -554,10 +652,11 @@ class ServingLoop:
                 device=dispatch.device,
             )
             self._result.records.append(record)
+            chunk_records.append(record)
             latency.observe(record.latency_ms, device=dispatch.device)
             queue_delay.observe(record.queue_delay_ms, device=dispatch.device)
         self._inflight += 1
-        self._push(dispatch.end_ms, _COMPLETION, None)
+        self._push(dispatch.end_ms, _COMPLETION, chunk_records)
         if self.tracer:
             self._trace_dispatch(batch, chunk, rung, compiled, worker, dispatch)
 

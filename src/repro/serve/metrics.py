@@ -208,6 +208,9 @@ class ServingReport:
     slo_summary: SloSummary | None = None
     #: Autoscaler resize events, in event order (empty without an autoscaler).
     scale_events: list = field(default_factory=list)
+    #: Alert transitions (:class:`~repro.obs.AlertEvent`), in window order;
+    #: empty for runs without alert rules.
+    alerts: list = field(default_factory=list)
     #: The run's full metrics registry (queue depth, admission outcomes,
     #: latency distributions, per-worker utilisation series, ...); ``None``
     #: for reports built without one.  Deliberately absent from
@@ -264,6 +267,16 @@ class ServingReport:
                 f"autoscale : {len(self.scale_events)} events "
                 f"({ups} up, {downs} down), pool {sizes}"
             )
+        # Alert section only for runs that evaluated rules AND saw
+        # transitions — alert-free runs print byte-identically to pre-alert
+        # output.
+        if self.alerts:
+            fired = sum(1 for event in self.alerts if event.state == "firing")
+            lines.append(
+                f"alerts    : {len(self.alerts)} transitions ({fired} firing)"
+            )
+            for event in self.alerts:
+                lines.append("  " + event.summary())
         for row in self.device_summary:
             latency = row.get("latency")
             latency_text = (
@@ -389,6 +402,7 @@ def build_report(
     admission: str = "",
     rejected: Sequence[RejectedRequest] = (),
     scale_events: Sequence | None = None,
+    alerts: Sequence | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> ServingReport:
     """Fold per-request records into a :class:`ServingReport`.
@@ -420,6 +434,9 @@ def build_report(
         rejections only — then every latency summary is all-zero.
     scale_events:
         Autoscaler resize events to record in the report.
+    alerts:
+        Alert transitions (:class:`~repro.obs.AlertEvent`) to record; the
+        report prints them only when non-empty.
     metrics:
         The run's :class:`~repro.obs.MetricsRegistry` to attach to the
         report (``ios-bench serve --metrics`` dumps it); never printed by
@@ -484,5 +501,6 @@ def build_report(
         rejected=list(rejected),
         slo_summary=slo_summary,
         scale_events=list(scale_events or []),
+        alerts=list(alerts or []),
         metrics=metrics,
     )

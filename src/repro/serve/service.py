@@ -39,6 +39,9 @@ from typing import Sequence
 from ..core.dp_scheduler import normalize_variant
 from ..hardware.device import get_device, get_devices
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
+from ..obs.alerts import AlertManager, AlertRule
+from ..obs.metrics import MetricsRegistry
+from ..obs.timeseries import TimeSeriesRegistry, WatchRenderer
 from ..obs.trace import NULL_TRACER, Tracer
 from .admission import AdmissionPolicy, get_admission_policy
 from .autoscale import AutoscaleConfig, Autoscaler
@@ -181,6 +184,19 @@ class InferenceService:
         compile and serving.  The tracer takes over an injected shared
         registry's engines for as long as this service uses them.  Reports
         stay byte-identical whether tracing is on or off.
+    metrics:
+        Inject the loop's registry.  Pass a
+        :class:`~repro.obs.TimeSeriesRegistry` for windowed live metrics;
+        requesting ``alerts`` or ``watch`` builds one automatically
+        (``window_ms`` wide) when this is not already windowed.
+    alerts:
+        Optional :class:`~repro.obs.AlertManager` or rule list, evaluated on
+        every window close; events land in the report's ``alerts`` section.
+    watch:
+        Optional :class:`~repro.obs.WatchRenderer` (or ``True`` for the
+        default stderr renderer) printing one dashboard line per window.
+    window_ms:
+        Window width used when the service builds its own windowed registry.
     """
 
     def __init__(
@@ -191,6 +207,10 @@ class InferenceService:
         router: Router | None = None,
         admission: AdmissionPolicy | None = None,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        alerts: "AlertManager | Sequence[AlertRule] | None" = None,
+        watch: "WatchRenderer | bool | None" = None,
+        window_ms: float = 50.0,
     ):
         self.config = config
         self.profile = profile
@@ -215,6 +235,16 @@ class InferenceService:
             self.registry, config.batch_sizes, profile=profile,
             measure=self.pool.plan_latency_for,
         )
+        if watch is True:
+            watch = WatchRenderer()
+        elif watch is False:
+            watch = None
+        # Alerts and the watch dashboard read windowed series; upgrade the
+        # registry to a windowed one when the caller didn't bring their own.
+        if (alerts is not None or watch is not None) and not isinstance(
+            metrics, TimeSeriesRegistry
+        ):
+            metrics = TimeSeriesRegistry(window_ms=window_ms)
         self.loop = ServingLoop(
             model=config.model,
             policy=config.policy,
@@ -225,6 +255,9 @@ class InferenceService:
             admission=self.admission,
             autoscaler=self.autoscaler,
             tracer=self.tracer,
+            metrics=metrics,
+            alerts=alerts,
+            watch=watch,
         )
 
     def _scale_device(self) -> str:
@@ -280,5 +313,6 @@ class InferenceService:
             admission=self.admission.name,
             rejected=outcome.rejected,
             scale_events=outcome.scale_events,
+            alerts=outcome.alerts,
             metrics=outcome.metrics,
         )

@@ -172,3 +172,36 @@ class TestMetricsRegistry:
         registry.counter("requests")
         assert registry.counter("requests", "total offered").description == "total offered"
         assert registry.counter("requests", "other").description == "total offered"
+
+
+class TestSnapshotByteStability:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_ms")
+        rng = np.random.default_rng(17)
+        # Values chosen to produce non-terminating percentile interpolation:
+        # without fixed-precision rounding these floats drift in their last
+        # digits and the rendered JSON is not byte-reproducible.
+        for value in rng.exponential(scale=7.0, size=301):
+            histogram.observe(float(value))
+        registry.counter("requests").inc(3.0)
+        return registry
+
+    def test_to_json_is_byte_identical_across_builds(self):
+        assert self._populated().to_json() == self._populated().to_json()
+
+    def test_quantiles_round_to_fixed_precision(self):
+        from repro.obs import QUANTILE_DECIMALS
+
+        series = self._populated().snapshot()["latency_ms"]["series"][0]
+        for q in HISTOGRAM_QUANTILES:
+            value = series[f"p{q:g}"]
+            assert value == round(value, QUANTILE_DECIMALS)
+
+    def test_snapshot_matches_the_reference_helper(self):
+        registry = self._populated()
+        histogram = registry.histogram("latency_ms")
+        series = registry.snapshot()["latency_ms"]["series"][0]
+        reference = quantiles_reference(histogram.values())
+        for q in HISTOGRAM_QUANTILES:
+            assert series[f"p{q:g}"] == reference[f"p{q:g}"]

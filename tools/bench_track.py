@@ -22,10 +22,19 @@ Run from the repo root::
 
     PYTHONPATH=src python tools/bench_track.py             # append data points
     PYTHONPATH=src python tools/bench_track.py --dry-run   # print, don't write
+    PYTHONPATH=src python tools/bench_track.py --check     # regression gate
+
+``--check`` is the CI perf-regression gate: instead of appending, it runs the
+same benchmarks and compares the fresh point against the *best* committed
+point in each history file, metric by metric.  Every gated metric carries its
+own direction (lower/higher is better) and tolerance — a >15% cold-compile or
+p99 regression fails the gate (exit 1), wall-clock metrics get extra absolute
+slack so scheduler noise does not flake the job.
 
 ``REPRO_BENCH_FAST=1`` (or ``--fast``) shrinks both benchmarks for CI smoke
 runs: ``squeezenet`` only, a smaller request count — fast entries are tagged
-``"fast": true`` so they are never compared against full runs.
+``"fast": true`` so they are never compared against full runs (``--check``
+compares fast points only to committed fast points and vice versa).
 """
 
 from __future__ import annotations
@@ -131,6 +140,113 @@ def bench_serving(fast: bool) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Regression gate (--check)
+# ---------------------------------------------------------------------------
+# metric -> (direction, relative tolerance, absolute slack).  Direction says
+# which way is better; a fresh value is a regression when it lands beyond
+# best * (1 +/- tolerance) +/- slack.  Virtual-clock metrics (latencies,
+# throughput, attainment) are deterministic and gate tightly; wall-clock
+# seconds get absolute slack so machine noise does not flake CI.
+COMPILE_CHECKS = {
+    "cold_compile_s": ("lower", 0.15, 0.25),
+    "artifact_reload_s": ("lower", 0.50, 0.05),
+    "latency_ms": ("lower", 0.02, 0.0),
+}
+SERVING_CHECKS = {
+    "p50_ms": ("lower", 0.15, 0.0),
+    "p99_ms": ("lower", 0.15, 0.0),
+    "mean_queue_ms": ("lower", 0.25, 0.0),
+    "throughput_rps": ("higher", 0.15, 0.0),
+    "attainment": ("higher", 0.05, 0.0),
+}
+
+
+def _load_history(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    history = json.loads(path.read_text())
+    if not isinstance(history, list):
+        raise SystemExit(f"{path} must contain a JSON list")
+    return history
+
+
+def _comparable(history: list[dict], fast: bool) -> list[dict]:
+    """Committed points with the same fast/full tag as the fresh run."""
+    return [entry for entry in history if bool(entry.get("fast")) == fast]
+
+
+def _best(values: list[float], direction: str) -> float:
+    return min(values) if direction == "lower" else max(values)
+
+
+def _check_metric(
+    label: str, fresh: float, best: float, direction: str,
+    tolerance: float, slack: float,
+) -> str | None:
+    """One gated metric; returns a failure line or None, printing either way."""
+    if direction == "lower":
+        limit = best * (1.0 + tolerance) + slack
+        regressed = fresh > limit
+        delta = (fresh - best) / best if best else 0.0
+    else:
+        limit = best * (1.0 - tolerance) - slack
+        regressed = fresh < limit
+        delta = (best - fresh) / best if best else 0.0
+    verdict = "REGRESSION" if regressed else "ok"
+    print(
+        f"  {label}: {fresh:g} vs best {best:g} "
+        f"({delta:+.1%} worse, tolerance {tolerance:.0%}) {verdict}"
+    )
+    if regressed:
+        return f"{label}: {fresh:g} regressed past {limit:g} (best {best:g})"
+    return None
+
+
+def check_compile(fresh: dict, history: list[dict], fast: bool) -> list[str]:
+    """Gate the fresh compile point against the best committed values."""
+    failures: list[str] = []
+    for model, metrics in fresh.items():
+        for name, (direction, tolerance, slack) in COMPILE_CHECKS.items():
+            committed = [
+                entry["metrics"][model][name]
+                for entry in _comparable(history, fast)
+                if model in entry.get("metrics", {})
+                and name in entry["metrics"][model]
+            ]
+            if not committed:
+                print(f"  {model}.{name}: no comparable committed points, skipped")
+                continue
+            failure = _check_metric(
+                f"{model}.{name}", metrics[name], _best(committed, direction),
+                direction, tolerance, slack,
+            )
+            if failure:
+                failures.append(failure)
+    return failures
+
+
+def check_serving(fresh: dict, history: list[dict], fast: bool) -> list[str]:
+    """Gate the fresh serving point against the best committed values."""
+    failures: list[str] = []
+    for name, (direction, tolerance, slack) in SERVING_CHECKS.items():
+        committed = [
+            entry["metrics"][name]
+            for entry in _comparable(history, fast)
+            if name in entry.get("metrics", {})
+        ]
+        if not committed:
+            print(f"  {name}: no comparable committed points, skipped")
+            continue
+        failure = _check_metric(
+            name, fresh[name], _best(committed, direction),
+            direction, tolerance, slack,
+        )
+        if failure:
+            failures.append(failure)
+    return failures
+
+
 def append_point(path: Path, entry: dict, dry_run: bool) -> None:
     history = json.loads(path.read_text()) if path.exists() else []
     if not isinstance(history, list):
@@ -151,10 +267,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI smoke mode (also via REPRO_BENCH_FAST=1)")
     parser.add_argument("--dry-run", action="store_true",
                         help="print the data points without writing the files")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: compare a fresh run against the "
+                        "best committed point instead of appending; exit 1 on "
+                        "any gated-metric regression")
     parser.add_argument("--output-dir", default=REPO_ROOT, type=Path,
                         help="where BENCH_*.json live (default: repo root)")
     args = parser.parse_args(argv)
     fast = args.fast or os.environ.get("REPRO_BENCH_FAST") == "1"
+
+    models = FAST_MODELS if fast else COMPILE_MODELS
+    if args.check:
+        failures: list[str] = []
+        print(f"bench gate ({'fast' if fast else 'full'} mode)")
+        print("BENCH_compile.json:")
+        failures += check_compile(
+            bench_compile(models),
+            _load_history(args.output_dir / "BENCH_compile.json"), fast,
+        )
+        print("BENCH_serving.json:")
+        failures += check_serving(
+            bench_serving(fast),
+            _load_history(args.output_dir / "BENCH_serving.json"), fast,
+        )
+        if failures:
+            print(f"FAILED: {len(failures)} regression(s)")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("PASSED: no gated metric regressed")
+        return 0
 
     stamp = {
         "commit": _commit(),
@@ -163,7 +305,6 @@ def main(argv: list[str] | None = None) -> int:
     if fast:
         stamp["fast"] = True
 
-    models = FAST_MODELS if fast else COMPILE_MODELS
     compile_entry = dict(stamp, metrics=bench_compile(models))
     append_point(args.output_dir / "BENCH_compile.json", compile_entry, args.dry_run)
 

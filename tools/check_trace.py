@@ -10,7 +10,9 @@ promises.  Each ``--require`` adds one content check:
 * ``requests`` — per-request lifecycle async pairs (category ``request``);
 * ``kernels``  — kernel-level spans on per-worker stream tracks
   (category ``kernel``);
-* ``counters`` — queue-depth counter samples.
+* ``counters`` — queue-depth counter samples;
+* ``alerts``   — alert-transition instants (category ``alert``) as emitted
+  when the serving loop runs with alert rules attached.
 
 Run from the repo root::
 
@@ -59,6 +61,13 @@ def _content_errors(events: list[dict], requirements: list[str]) -> list[str]:
         elif requirement == "counters":
             if not any(event["ph"] == "C" for event in events):
                 errors.append("no counter samples")
+        elif requirement == "alerts":
+            instants = sum(
+                1 for event in events
+                if event["ph"] == "i" and event.get("cat") == "alert"
+            )
+            if not instants:
+                errors.append("no alert-transition instants (category 'alert')")
     return errors
 
 
@@ -69,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         "--require",
         action="append",
         default=[],
-        choices=["compile", "requests", "kernels", "counters"],
+        choices=["compile", "requests", "kernels", "counters", "alerts"],
         help="content the trace must contain (repeatable)",
     )
     args = parser.parse_args(argv)
