@@ -17,7 +17,10 @@ The package is organised as:
 * :mod:`repro.experiments` — one harness per table/figure of the paper;
 * :mod:`repro.serve` — batch-aware inference serving: persistent compiled-model
   registry, dynamic batcher, heterogeneous device fleets with pluggable
-  routing, simulated worker pool, synthetic traffic.
+  routing, simulated worker pool, synthetic traffic;
+* :mod:`repro.cluster` — multi-host serving: co-simulated hosts behind
+  cluster routers, graph partitioning across memory-bound hosts, modeled
+  inter-host link transfers.
 
 Quick start::
 
@@ -45,7 +48,7 @@ from .core import (
 )
 from .engine import CompiledModel, Engine, get_engine
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "TensorShape",

@@ -114,10 +114,30 @@ def _write_csv(table: ExperimentTable, csv_dir: str | None) -> None:
     print(f"wrote {path}", file=sys.stderr)
 
 
+def _validate_topology_flags(args, parser) -> None:
+    """Reject per-worker pool flags when a higher-level topology owns the pool.
+
+    Three pool declarations share this check so their conflict rules cannot
+    drift: ``--device``/``--num-workers`` spell out one homogeneous pool,
+    ``--fleet`` declares the whole pool as device groups, and ``--cluster``
+    replicates a pool per host (``--fleet`` then declares *each host's*
+    workers).  The higher-level flag always owns the pool, so the low-level
+    spellings are rejected rather than silently ignored.
+    """
+    per_worker = args.device is not None or args.num_workers is not None
+    if args.fleet is not None and per_worker:
+        parser.error("--fleet declares the whole pool; "
+                     "drop --device/--num-workers")
+    if getattr(args, "cluster", None) is not None and per_worker:
+        parser.error("--cluster declares one pool per host (use --fleet for "
+                     "each host's workers); drop --device/--num-workers")
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``ios-bench serve`` subcommand."""
     # Imported lazily: repro.serve pulls in the whole serving stack, which the
     # figure/table experiments never need.
+    from ..cluster import LinkModel, list_cluster_routers
     from ..serve import (
         AutoscaleConfig,
         BatchPolicy,
@@ -150,6 +170,25 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--router", default="earliest-finish", choices=list_routers(),
                         help="routing policy dispatching batches to workers "
                         "(default: earliest-finish, the device-aware policy)")
+    parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                        help="replay the trace across N simulated hosts, each "
+                        "running the --fleet pool (default v100:2 per host); "
+                        "--cluster 1 reproduces the single-host loop exactly")
+    parser.add_argument("--partition", action="store_true",
+                        help="cut the model into one pipeline stage per host "
+                        "(requires --cluster > 1); stage handoffs pay modeled "
+                        "--link transfer costs")
+    parser.add_argument("--cluster-router", default="earliest-finish-host",
+                        choices=list_cluster_routers(),
+                        help="cluster-level policy placing arrivals on hosts "
+                        "(default: earliest-finish-host)")
+    parser.add_argument("--link", default=None, metavar="SPEC",
+                        help="inter-host link model, e.g. "
+                        "'bw=12.5,lat=0.05,ingress=1.0' (GB/s and ms; ingress "
+                        "serialises each host's client-facing NIC)")
+    parser.add_argument("--host-memory", default=None, metavar="GB[,GB...]",
+                        help="per-host weight-memory bound in GB: one value "
+                        "for every host, or one comma-separated value per host")
     parser.add_argument("--pattern", choices=["poisson", "bursty", "uniform"],
                         default=None,
                         help="synthetic arrival pattern (default: poisson; "
@@ -227,11 +266,9 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error(f"--requests must be positive, got {args.requests}")
     if args.num_workers is not None and args.num_workers <= 0:
         parser.error(f"--num-workers must be positive, got {args.num_workers}")
+    _validate_topology_flags(args, parser)
     fleet = None
     if args.fleet is not None:
-        if args.device is not None or args.num_workers is not None:
-            parser.error("--fleet declares the whole pool; "
-                         "drop --device/--num-workers")
         try:
             fleet = FleetSpec.parse(args.fleet)
         except (KeyError, ValueError) as error:
@@ -241,6 +278,45 @@ def serve_main(argv: list[str] | None = None) -> int:
             parser.error(f"bad --fleet spec: {message}")
     device = args.device or "v100"
     num_workers = args.num_workers or 2
+    if args.cluster is not None and args.cluster < 1:
+        parser.error(f"--cluster needs at least one host, got {args.cluster}")
+    if args.partition and (args.cluster is None or args.cluster < 2):
+        parser.error("--partition cuts the model across hosts; "
+                     "add --cluster N with N > 1")
+    if args.cluster is None and (
+        args.link is not None or args.host_memory is not None
+    ):
+        parser.error("--link/--host-memory configure a cluster run; "
+                     "add --cluster N")
+    if args.cluster is not None and args.compare:
+        parser.error("--cluster replays a single run; drop --compare")
+    link = LinkModel()
+    if args.link is not None:
+        try:
+            link = LinkModel.parse(args.link)
+        except ValueError as error:
+            parser.error(f"bad --link spec: {error}")
+    host_memory = None
+    if args.host_memory is not None:
+        try:
+            memory_values = tuple(
+                float(part) for part in args.host_memory.split(",") if part.strip()
+            )
+        except ValueError:
+            parser.error(f"--host-memory must be comma-separated numbers in GB, "
+                         f"got {args.host_memory!r}")
+        if not memory_values or any(value <= 0 for value in memory_values):
+            parser.error(f"--host-memory needs positive sizes in GB, "
+                         f"got {args.host_memory!r}")
+        if len(memory_values) > 1 and len(memory_values) != args.cluster:
+            parser.error(f"--host-memory lists {len(memory_values)} bounds for "
+                         f"--cluster {args.cluster} hosts")
+        host_memory = (
+            memory_values[0] if len(memory_values) == 1 else memory_values
+        )
+    if args.watch and args.cluster is not None and args.cluster > 1:
+        print("note: --watch follows a single host's live windows; "
+              "ignoring it for a multi-host cluster", file=sys.stderr)
     if args.rate <= 0:
         parser.error(f"--rate must be positive, got {args.rate}")
     if args.burst_size <= 0:
@@ -408,12 +484,36 @@ def serve_main(argv: list[str] | None = None) -> int:
             from ..obs import Tracer
 
             tracer = Tracer()
-    report = run_serving(
-        traffic, serving, tracer=tracer,
-        alerts=alerts, watch=True if args.watch else None,
-        window_ms=args.window_ms,
-    )
-    print(report.describe())
+    if args.cluster is not None:
+        from ..cluster import ClusterConfig, run_cluster_serving
+
+        cluster_config = ClusterConfig(
+            serving=serving, num_hosts=args.cluster,
+            host_memory_gb=host_memory, partition=args.partition,
+            router=args.cluster_router, link=link,
+        )
+        try:
+            cluster_report = run_cluster_serving(
+                traffic, cluster_config, tracer=tracer,
+                alerts=alerts, watch=True if args.watch else None,
+                window_ms=args.window_ms,
+            )
+        except ValueError as error:
+            parser.error(str(error))
+        print(cluster_report.describe())
+        report = cluster_report.report
+        metrics_registry = (
+            report.metrics if report.metrics is not None
+            else cluster_report.cluster_metrics
+        )
+    else:
+        report = run_serving(
+            traffic, serving, tracer=tracer,
+            alerts=alerts, watch=True if args.watch else None,
+            window_ms=args.window_ms,
+        )
+        print(report.describe())
+        metrics_registry = report.metrics
     if tracer is not None:
         from ..obs import write_chrome_trace
 
@@ -428,8 +528,8 @@ def serve_main(argv: list[str] | None = None) -> int:
                   f"{meta['records']['kept']} records kept, "
                   f"{meta['records']['dropped']} dropped "
                   f"(request-span budget {meta['budget']})", file=sys.stderr)
-    if args.metrics is not None and report.metrics is not None:
-        metrics_path = report.metrics.write(args.metrics)
+    if args.metrics is not None and metrics_registry is not None:
+        metrics_path = metrics_registry.write(args.metrics)
         print(f"wrote {metrics_path}", file=sys.stderr)
     return 0
 

@@ -29,11 +29,13 @@ from .alerts import (
     AlertManager,
     AlertRule,
     BurnRateRule,
+    HostSaturationRule,
     QueueSaturationRule,
     ThresholdRule,
     alerts_snapshot,
     default_alert_rules,
     parse_alert_rules,
+    per_host_alert_rules,
 )
 from .export import (
     chrome_trace,
@@ -62,7 +64,7 @@ from .timeseries import (
     WindowedSeries,
     WindowSpan,
 )
-from .trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
+from .trace import NULL_TRACER, NullTracer, PrefixedTracer, TraceRecord, Tracer
 
 __all__ = [
     "HISTOGRAM_QUANTILES",
@@ -75,9 +77,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HostSaturationRule",
     "Metric",
     "MetricsRegistry",
     "NullTracer",
+    "PrefixedTracer",
     "QueueSaturationRule",
     "SamplingConfig",
     "SamplingTracer",
@@ -98,6 +102,7 @@ __all__ = [
     "default_alert_rules",
     "parse_alert_rules",
     "parse_sampling_spec",
+    "per_host_alert_rules",
     "quantiles_reference",
     "validate_chrome_trace",
     "write_chrome_trace",

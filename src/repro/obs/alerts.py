@@ -28,6 +28,7 @@ firing and resolution are reproducible run to run.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -39,11 +40,13 @@ __all__ = [
     "AlertManager",
     "AlertRule",
     "BurnRateRule",
+    "HostSaturationRule",
     "QueueSaturationRule",
     "ThresholdRule",
     "alerts_snapshot",
     "default_alert_rules",
     "parse_alert_rules",
+    "per_host_alert_rules",
 ]
 
 #: Counter families the serving loop feeds per request outcome; the burn-rate
@@ -269,6 +272,61 @@ class QueueSaturationRule(ThresholdRule):
             f"queue depth high-water {value:g} >= {self.threshold:g} "
             f"for {self.for_windows} window(s)"
         )
+
+
+class HostSaturationRule(QueueSaturationRule):
+    """Per-host queue saturation for cluster runs (``hostN-queue-saturation``).
+
+    Each simulated host of a :mod:`repro.cluster` run evaluates its own copy
+    against its own windowed metrics; the host id in the rule name keeps the
+    merged cluster-wide alert stream attributable to the saturated host.
+    """
+
+    def __init__(
+        self,
+        host_id: int,
+        limit: float = 32.0,
+        *,
+        for_windows: int = 2,
+        severity: str = "warning",
+    ):
+        super().__init__(
+            f"host{host_id}-queue-saturation", limit,
+            for_windows=for_windows, severity=severity,
+        )
+        self.host_id = host_id
+
+    def message(self, value: float) -> str:
+        return (
+            f"host{self.host_id} queue depth high-water {value:g} >= "
+            f"{self.threshold:g} for {self.for_windows} window(s)"
+        )
+
+
+def per_host_alert_rules(
+    host_id: int, rules: Sequence[AlertRule]
+) -> list[AlertRule]:
+    """Fresh per-host copies of ``rules``, renamed ``hostN-<rule>``.
+
+    Rules are stateful (consecutive-window counters, firing state), so N
+    hosts must never share instances; each host gets deep copies, reset, with
+    the host id prefixed to every name.  Queue-saturation rules become
+    :class:`HostSaturationRule`\\ s so the per-host saturation alert carries
+    its canonical name.
+    """
+    copies: list[AlertRule] = []
+    for rule in rules:
+        if isinstance(rule, QueueSaturationRule):
+            clone: AlertRule = HostSaturationRule(
+                host_id, rule.threshold,
+                for_windows=rule.for_windows, severity=rule.severity,
+            )
+        else:
+            clone = copy.deepcopy(rule)
+            clone.name = f"host{host_id}-{clone.name}"
+            clone.reset()
+        copies.append(clone)
+    return copies
 
 
 class AlertManager:

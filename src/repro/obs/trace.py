@@ -35,6 +35,7 @@ from typing import Callable, Iterator, Mapping
 __all__ = [
     "NULL_TRACER",
     "NullTracer",
+    "PrefixedTracer",
     "TraceRecord",
     "Tracer",
 ]
@@ -288,6 +289,77 @@ class NullTracer(Tracer):
 
     def async_end(self, *args, **kwargs) -> None:  # noqa: D102 - no-op
         pass
+
+
+class PrefixedTracer(Tracer):
+    """A view of another tracer that prefixes every track's process name.
+
+    The cluster loop hands each simulated host a
+    ``PrefixedTracer(shared, "host0 ")`` so the host's serving-loop spans land
+    on per-host rows (``host0 serving/requests``,
+    ``host0 worker 1 (v100)/batches``) of the *shared* trace — one file, one
+    timeline, N hosts side by side.  Only the track is rewritten; timestamps,
+    correlations and sampling behaviour are the inner tracer's (wrapping a
+    :class:`~repro.obs.sampling.SamplingTracer` samples as usual, wrapping
+    :data:`NULL_TRACER` stays falsy and free).
+    """
+
+    def __init__(self, inner: Tracer, prefix: str):
+        super().__init__()
+        self.inner = inner
+        self.prefix = prefix
+
+    def __bool__(self) -> bool:
+        return bool(self.inner)
+
+    @property
+    def enabled(self) -> bool:
+        return self.inner.enabled
+
+    @property
+    def records(self) -> list[TraceRecord]:  # type: ignore[override]
+        return self.inner.records
+
+    @records.setter
+    def records(self, value: list[TraceRecord]) -> None:
+        # Tracer.__init__ assigns self.records = []; the view has no store
+        # of its own, so the base-class initialisation is dropped here.
+        pass
+
+    def _track(self, track: str) -> str:
+        return f"{self.prefix}{track}"
+
+    def add_span(self, name, track, start_ms, end_ms, *, category="", args=None):
+        self.inner.add_span(
+            name, self._track(track), start_ms, end_ms, category=category, args=args
+        )
+
+    @contextmanager
+    def span(self, name, track, *, category="", args=None):
+        with self.inner.span(
+            name, self._track(track), category=category, args=args
+        ) as extra:
+            yield extra
+
+    def instant(self, name, track, ts_ms=None, *, category="", args=None):
+        self.inner.instant(
+            name, self._track(track), ts_ms, category=category, args=args
+        )
+
+    def counter(self, name, track, ts_ms, values):
+        self.inner.counter(name, self._track(track), ts_ms, values)
+
+    def async_begin(self, name, track, correlation, ts_ms, *, category="", args=None):
+        self.inner.async_begin(
+            name, self._track(track), correlation, ts_ms,
+            category=category, args=args,
+        )
+
+    def async_end(self, name, track, correlation, ts_ms, *, category="", args=None):
+        self.inner.async_end(
+            name, self._track(track), correlation, ts_ms,
+            category=category, args=args,
+        )
 
 
 #: Shared disabled tracer; instrumented modules default to this.

@@ -60,7 +60,9 @@ class FleetSpec:
         Ordered ``(device_name, count)`` pairs.  Device names are
         canonicalised through :func:`repro.hardware.get_device` (aliases like
         ``"2080ti"`` resolve to their preset name); counts must be positive.
-        Repeating a device name merges into one group.
+        Repeating a device name (directly or through an alias) is rejected —
+        a duplicate is almost always a typo'd count, and silently merging
+        would hide it.
     min_workers, max_workers:
         Optional elastic bounds.  When set, a service built on this fleet
         autoscales between them (see :mod:`repro.serve.autoscale`): ``groups``
@@ -76,7 +78,7 @@ class FleetSpec:
     def __post_init__(self) -> None:
         if not self.groups:
             raise ValueError("a fleet needs at least one worker group")
-        merged: dict[str, int] = {}
+        canonicalised: dict[str, int] = {}
         for name, count in self.groups:
             if not isinstance(count, int) or isinstance(count, bool) or count <= 0:
                 raise ValueError(
@@ -84,8 +86,13 @@ class FleetSpec:
                     f"integer, got {count!r}"
                 )
             canonical = get_device(name).name  # raises KeyError on unknown names
-            merged[canonical] = merged.get(canonical, 0) + count
-        object.__setattr__(self, "groups", tuple(merged.items()))
+            if canonical in canonicalised:
+                raise ValueError(
+                    f"duplicate device group {canonical!r} (declared again as "
+                    f"{name!r}); declare each device once with its total count"
+                )
+            canonicalised[canonical] = count
+        object.__setattr__(self, "groups", tuple(canonicalised.items()))
         if (self.min_workers is None) != (self.max_workers is None):
             raise ValueError(
                 "set min_workers and max_workers together (or neither)"
@@ -108,8 +115,10 @@ class FleetSpec:
         """Parse the CLI spelling ``"k80:2,v100:4"`` into a fleet.
 
         A bare device name means one worker (``"v100"`` == ``"v100:1"``).
-        Raises :class:`ValueError` on malformed entries and :class:`KeyError`
-        (listing the available presets) on unknown device names.
+        Raises :class:`ValueError` on malformed entries and duplicate device
+        groups, :class:`KeyError` (listing the available presets) on unknown
+        device names; every message quotes the full ``spec`` verbatim so the
+        offending CLI argument is identifiable in the error alone.
         """
         groups: list[tuple[str, int]] = []
         for entry in spec.split(","):
@@ -126,14 +135,22 @@ class FleetSpec:
                 except ValueError:
                     raise ValueError(
                         f"worker count in fleet entry {entry!r} must be an "
-                        f"integer, got {count!r}"
+                        f"integer, got {count!r} in {spec!r}"
                     ) from None
             else:
                 workers = 1
             groups.append((name, workers))
         if not groups:
             raise ValueError(f"empty fleet spec {spec!r}")
-        return cls(groups=tuple(groups))
+        try:
+            return cls(groups=tuple(groups))
+        except KeyError as error:
+            # get_device raises without the spec; re-raise so the offending
+            # CLI argument survives into the message.
+            detail = error.args[0] if error.args else error
+            raise KeyError(f"{detail} (in fleet spec {spec!r})") from None
+        except ValueError as error:
+            raise ValueError(f"{error} (in fleet spec {spec!r})") from None
 
     @classmethod
     def homogeneous(cls, device: str, count: int) -> "FleetSpec":

@@ -37,7 +37,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..obs.alerts import AlertEvent, AlertManager, AlertRule
 from ..obs.metrics import MetricsRegistry
@@ -284,6 +284,14 @@ class ServingLoop:
         self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._result = LoopResult()
+        self._scale_armed = True
+        #: Optional hook fired after each completion event with the chunk's
+        #: finished records (a cluster driver schedules stage handoffs from
+        #: it).  ``None`` — the default — keeps the loop byte-identical to
+        #: pre-hook behaviour.
+        self.completion_listener: Callable[[Sequence[RequestRecord]], None] | None = (
+            None
+        )
 
     # ----------------------------------------------------------------- driving
     def run(self, requests: Sequence[InferenceRequest]) -> LoopResult:
@@ -298,22 +306,90 @@ class ServingLoop:
             self._push(first + self.autoscaler.config.interval_ms, _SCALE, None)
 
         while self._heap:
-            time_ms, kind, _, payload = heapq.heappop(self._heap)
-            self._now_ms = time_ms
-            # Windows close *before* the event at time_ms processes — that
-            # event's observations belong to the window containing time_ms.
-            if self._timeseries is not None:
-                for window in self._timeseries.advance(time_ms):
-                    self._close_window(window)
-            if kind == _ARRIVAL:
-                self._on_arrival(payload)
-            elif kind == _COMPLETION:
-                self._on_completion(payload)
-            elif kind == _TIMEOUT:
-                self._on_timeout(payload)
-            else:
-                self._on_scale_check()
+            self._step()
         return self._finalize()
+
+    # ----------------------------------------------------- incremental driving
+    # An external driver (the cluster co-simulation) replays arrivals itself:
+    # ``begin()`` → interleaved ``advance_to()`` / ``inject()`` / ``step()``
+    # → ``finish()``.  Driven this way with the arrivals of a single stream,
+    # the loop pops the *same events in the same order* as :meth:`run` —
+    # arrivals still beat same-time completions/timeouts/scale checks because
+    # the driver injects before stepping equal-time internal events — so the
+    # result is byte-identical.
+
+    def begin(self) -> None:
+        """Start an externally driven run; arrivals come via :meth:`inject`."""
+        self._reset()
+        self._seq = itertools.count()
+        self._scale_armed = self.autoscaler is None
+
+    @property
+    def next_event_ms(self) -> float:
+        """Virtual time of the earliest queued internal event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def has_events(self) -> bool:
+        """Whether any internal event (completion/timeout/scale) is queued."""
+        return bool(self._heap)
+
+    def step(self) -> None:
+        """Process exactly one queued internal event."""
+        self._step()
+
+    def advance_to(self, time_ms: float) -> None:
+        """Drain every internal event strictly earlier than ``time_ms``.
+
+        Strictly earlier: an arrival injected at ``time_ms`` afterwards still
+        wins the tie against same-time internal events, exactly as the heap's
+        kind ordering resolves it inside :meth:`run`.
+        """
+        while self._heap and self._heap[0][0] < time_ms:
+            self._step()
+
+    def inject(self, request: InferenceRequest, arrivals_left: int) -> None:
+        """Process one arrival now; ``arrivals_left`` arrivals are still due.
+
+        The driver must have drained internal events earlier than the arrival
+        (:meth:`advance_to`) and must inject arrivals in
+        ``(arrival_ms, request_id)`` order.  ``arrivals_left`` counts arrivals
+        the *whole stream* still owes (cluster-wide for a cluster driver) so
+        the drain-versus-timeout close reason keeps its meaning.
+        """
+        self._arrivals_left = arrivals_left + 1
+        if not self._scale_armed:
+            self._scale_armed = True
+            self._push(
+                request.arrival_ms + self.autoscaler.config.interval_ms, _SCALE, None
+            )
+        self._advance_clock(request.arrival_ms)
+        self._on_arrival(request)
+
+    def finish(self) -> LoopResult:
+        """Drain the remaining internal events and assemble the result."""
+        while self._heap:
+            self._step()
+        return self._finalize()
+
+    def _step(self) -> None:
+        time_ms, kind, _, payload = heapq.heappop(self._heap)
+        self._advance_clock(time_ms)
+        if kind == _ARRIVAL:
+            self._on_arrival(payload)
+        elif kind == _COMPLETION:
+            self._on_completion(payload)
+        elif kind == _TIMEOUT:
+            self._on_timeout(payload)
+        else:
+            self._on_scale_check()
+
+    def _advance_clock(self, time_ms: float) -> None:
+        self._now_ms = time_ms
+        # Windows close *before* the event at time_ms processes — that
+        # event's observations belong to the window containing time_ms.
+        if self._timeseries is not None:
+            for window in self._timeseries.advance(time_ms):
+                self._close_window(window)
 
     def _reset(self) -> None:
         self.admission.reset()
@@ -493,6 +569,8 @@ class ServingLoop:
                 missed.inc(outcome="deadline")
         if self.autoscaler is not None:
             self._record_scale_events(self.autoscaler.evaluate(self.state))
+        if self.completion_listener is not None:
+            self.completion_listener(records or ())
 
     def _on_timeout(self, batch_id: int) -> None:
         if batch_id != self._batch_id or not self._pending:

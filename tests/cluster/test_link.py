@@ -1,0 +1,73 @@
+"""Tests for the inter-host link-cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LinkModel
+
+
+class TestLinkModel:
+    def test_transfer_cost_is_latency_plus_serialisation(self):
+        link = LinkModel(bandwidth_gb_s=10.0, latency_ms=0.1)
+        # 10 GB/s == 1e7 bytes/ms: 5 MB takes 0.5 ms on the wire.
+        assert link.transfer_ms(5_000_000, 0, 1) == pytest.approx(0.6)
+
+    def test_same_host_transfers_are_free(self):
+        link = LinkModel()
+        assert link.transfer_ms(1_000_000, 2, 2) == 0.0
+
+    def test_pair_overrides_beat_the_default(self):
+        link = LinkModel(
+            bandwidth_gb_s=10.0,
+            latency_ms=0.1,
+            pair_overrides={(0, 1): (1.0, 1.0)},
+        )
+        assert link.transfer_ms(1_000_000, 0, 1) == pytest.approx(2.0)
+        # The override is for the ordered pair; the reverse uses defaults.
+        assert link.transfer_ms(1_000_000, 1, 0) == pytest.approx(0.2)
+
+    def test_ingress_disabled_by_default(self):
+        link = LinkModel()
+        assert not link.models_ingress
+        assert link.ingress_ms(1_000_000) == 0.0
+
+    def test_ingress_cost_when_enabled(self):
+        link = LinkModel(ingress_gb_s=1.0, ingress_latency_ms=0.5)
+        assert link.models_ingress
+        assert link.ingress_ms(1_000_000) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(bandwidth_gb_s=0.0),
+            dict(bandwidth_gb_s=-1.0),
+            dict(latency_ms=-0.1),
+            dict(ingress_gb_s=0.0),
+            dict(ingress_latency_ms=-1.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            LinkModel(**bad)
+
+    def test_parse_round_trips_the_cli_spelling(self):
+        link = LinkModel.parse("bw=10,lat=0.2,ingress=2,ingress-lat=0.1")
+        assert link == LinkModel(
+            bandwidth_gb_s=10.0,
+            latency_ms=0.2,
+            ingress_gb_s=2.0,
+            ingress_latency_ms=0.1,
+        )
+
+    def test_parse_empty_spec_is_the_default(self):
+        assert LinkModel.parse("") == LinkModel()
+
+    @pytest.mark.parametrize("bad", ["bw", "speed=10", "bw=fast", "=1"])
+    def test_parse_rejects_malformed_entries(self, bad):
+        with pytest.raises(ValueError, match=repr(bad)):
+            LinkModel.parse(bad)
+
+    def test_describe_mentions_ingress_only_when_modeled(self):
+        assert LinkModel().describe() == "12.5GB/s+0.05ms"
+        assert "ingress 2GB/s" in LinkModel(ingress_gb_s=2.0).describe()

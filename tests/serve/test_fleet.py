@@ -52,9 +52,23 @@ class TestFleetSpec:
         assert fleet.groups == (("v100", 1),)
         assert fleet.is_homogeneous
 
-    def test_parse_merges_repeated_device_groups(self):
-        fleet = FleetSpec.parse("v100:1,k80:2,v100:2")
-        assert fleet.groups == (("v100", 3), ("k80", 2))
+    def test_parse_rejects_repeated_device_groups(self):
+        # A repeated group is almost always a typo'd count; merging would
+        # hide it.  The message quotes the whole offending spec.
+        with pytest.raises(ValueError, match=r"duplicate device group"):
+            FleetSpec.parse("v100:1,k80:2,v100:2")
+        with pytest.raises(ValueError, match=r"v100:1,k80:2,v100:2"):
+            FleetSpec.parse("v100:1,k80:2,v100:2")
+
+    def test_parse_rejects_duplicates_through_aliases(self):
+        with pytest.raises(ValueError, match="duplicate device group 'v100'"):
+            FleetSpec.parse("v100:1,Tesla-V100:2")
+
+    def test_parse_errors_quote_the_full_spec(self):
+        with pytest.raises(ValueError, match=r"k80:2,v100:x"):
+            FleetSpec.parse("k80:2,v100:x")
+        with pytest.raises(KeyError, match=r"k80:1,tpu:4"):
+            FleetSpec.parse("k80:1,tpu:4")
 
     def test_device_aliases_canonicalise(self):
         fleet = FleetSpec.parse("2080ti:2,Tesla-V100:1")

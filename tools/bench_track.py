@@ -16,7 +16,9 @@ files are JSON lists, one entry per run::
 * **Serving** — a fixed seeded scenario (``squeezenet`` on a ``k80:1,v100:2``
   fleet, bursty deadline-carrying traffic, deadline admission).  The serving
   loop runs on a virtual clock, so every serving metric is deterministic and
-  comparable across machines.
+  comparable across machines.  The same entry carries a ``cluster_*`` block:
+  a 4-host partitioned replay over a modeled link, gating cluster-wide SLO
+  attainment, end-to-end p99, and total modeled transfer time.
 
 Run from the repo root::
 
@@ -52,6 +54,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.cluster import ClusterConfig, run_cluster_serving  # noqa: E402
 from repro.engine import Engine  # noqa: E402
 from repro.engine.compiled import CompiledModel  # noqa: E402
 from repro.serve import ServingConfig, TrafficConfig, run_serving  # noqa: E402
@@ -125,7 +128,7 @@ def bench_serving(fast: bool) -> dict:
     report = run_serving(traffic, serving)
     wall_s = time.perf_counter() - start
     slo = report.slo_summary
-    return {
+    metrics = {
         "requests": report.num_requests,
         "batches": report.num_batches,
         "throughput_rps": round(report.throughput_rps, 3),
@@ -137,6 +140,35 @@ def bench_serving(fast: bool) -> dict:
         "attainment": round(slo.attainment_rate, 4),
         "rejected": slo.rejected,
         "harness_wall_s": round(wall_s, 3),
+    }
+    metrics.update(bench_cluster(fast))
+    return metrics
+
+
+def bench_cluster(fast: bool) -> dict:
+    """A 4-host partitioned replay; virtual-clock deterministic like the rest."""
+    num_requests = 60 if fast else 240
+    traffic = TrafficConfig(
+        model="squeezenet", pattern="bursty", num_requests=num_requests,
+        rate_rps=400.0, burst_size=32, burst_gap_ms=40.0, slo_ms=40.0, seed=11,
+    ).capped_to(8)
+    serving = ServingConfig(
+        model="squeezenet", devices=("k80",), batch_sizes=(1, 2, 4, 8),
+        policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0),
+    )
+    cluster = ClusterConfig(
+        serving=serving, num_hosts=4, partition=True,
+        router="partition-affinity", link="bw=12.5,lat=0.05",
+    )
+    start = time.perf_counter()
+    report = run_cluster_serving(traffic, cluster)
+    wall_s = time.perf_counter() - start
+    return {
+        "cluster_attainment": round(report.attainment, 4),
+        "cluster_p99_ms": round(report.report.latency.p99_ms, 4),
+        "cluster_transfers": report.transfers.count,
+        "cluster_transfer_ms": round(report.transfers.total_ms, 4),
+        "cluster_harness_wall_s": round(wall_s, 3),
     }
 
 
@@ -159,6 +191,9 @@ SERVING_CHECKS = {
     "mean_queue_ms": ("lower", 0.25, 0.0),
     "throughput_rps": ("higher", 0.15, 0.0),
     "attainment": ("higher", 0.05, 0.0),
+    "cluster_attainment": ("higher", 0.05, 0.0),
+    "cluster_p99_ms": ("lower", 0.15, 0.0),
+    "cluster_transfer_ms": ("lower", 0.15, 0.0),
 }
 
 

@@ -12,7 +12,10 @@ promises.  Each ``--require`` adds one content check:
   (category ``kernel``);
 * ``counters`` — queue-depth counter samples;
 * ``alerts``   — alert-transition instants (category ``alert``) as emitted
-  when the serving loop runs with alert rules attached.
+  when the serving loop runs with alert rules attached;
+* ``hosts``    — per-host track groups (process names starting with
+  ``host``) plus inter-host send/recv transfer spans (category
+  ``transfer``), as emitted by ``ios-bench serve --cluster N --trace``.
 
 Run from the repo root::
 
@@ -68,6 +71,16 @@ def _content_errors(events: list[dict], requirements: list[str]) -> list[str]:
             )
             if not instants:
                 errors.append("no alert-transition instants (category 'alert')")
+        elif requirement == "hosts":
+            host_processes = sum(
+                1 for event in events
+                if event["ph"] == "M" and event["name"] == "process_name"
+                and str(event.get("args", {}).get("name", "")).startswith("host")
+            )
+            if not host_processes:
+                errors.append("no per-host track groups (process 'host*')")
+            if not _spans_with_category(events, "transfer"):
+                errors.append("no inter-host transfer spans (category 'transfer')")
     return errors
 
 
@@ -78,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
         "--require",
         action="append",
         default=[],
-        choices=["compile", "requests", "kernels", "counters", "alerts"],
+        choices=["compile", "requests", "kernels", "counters", "alerts", "hosts"],
         help="content the trace must contain (repeatable)",
     )
     args = parser.parse_args(argv)
