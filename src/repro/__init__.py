@@ -48,7 +48,7 @@ from .core import (
 )
 from .engine import CompiledModel, Engine, get_engine
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "TensorShape",

@@ -46,8 +46,11 @@ from .dp_scheduler import (
     UnknownVariantError,
     VALID_VARIANTS,
     normalize_variant,
+    resolve_compile_jobs,
+    shutdown_search_pools,
     variant_label,
 )
+from .memo import ScheduleMemo, clear_schedule_memo, memo_enabled, schedule_memo
 from .baselines import greedy_schedule, sequential_schedule
 from .lowering import lower_schedule, measure_schedule, schedule_latency_ms, schedule_throughput
 from .complexity import (
@@ -139,6 +142,12 @@ __all__ = [
     "VALID_VARIANTS",
     "normalize_variant",
     "variant_label",
+    "resolve_compile_jobs",
+    "shutdown_search_pools",
+    "ScheduleMemo",
+    "schedule_memo",
+    "clear_schedule_memo",
+    "memo_enabled",
     "schedule_graph",
     "BlockStats",
     "ScheduleResult",

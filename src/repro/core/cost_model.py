@@ -49,9 +49,40 @@ class CostModel(ABC):
     # --------------------------------------------------------------- interface
     @abstractmethod
     def _measure_stage(
-        self, graph: Graph, op_names: tuple[str, ...], strategy: ParallelizationStrategy
+        self,
+        graph: Graph,
+        op_names: tuple[str, ...],
+        strategy: ParallelizationStrategy,
+        groups: Sequence[Sequence[str]] | None = None,
     ) -> float:
-        """Measure (simulate) the latency of one stage; no caching."""
+        """Measure (simulate) the latency of one stage; no caching.
+
+        ``groups`` optionally carries the stage's connected-group
+        decomposition when the caller already knows it (the DP enumerates
+        endings *by* their groups); it must equal
+        :func:`~repro.core.schedule.connected_groups` output exactly.
+        """
+
+    def signature(self) -> tuple | None:
+        """Hashable identity of this model's latency function, or ``None``.
+
+        Two cost models with equal signatures return identical latencies for
+        every stage, so their block searches are interchangeable — this is the
+        key the process-wide :class:`~repro.core.memo.ScheduleMemo` shares
+        results under.  ``None`` (the default) means "not shareable": unknown
+        subclasses and noisy profilers must keep their searches private.
+        """
+        return None
+
+    def spawn(self) -> "CostModel | None":
+        """A fresh, state-free clone for a worker process, or ``None``.
+
+        Used by the multiprocessing search fan-out: each worker prices stages
+        on its own clone (empty measurement cache, zero counters).  ``None``
+        (the default) means this model cannot be cloned deterministically and
+        parallel search must fall back to serial.
+        """
+        return None
 
     # ----------------------------------------------------------------- public
     def stage_latency(
@@ -59,18 +90,23 @@ class CostModel(ABC):
         graph: Graph,
         op_names: Sequence[str],
         strategy: ParallelizationStrategy,
+        groups: Sequence[Sequence[str]] | None = None,
     ) -> float:
         """Memoised latency of executing ``op_names`` as one stage."""
-        key = (graph.name, graph.batch_size, frozenset(op_names), strategy)
+        # The structural fingerprint keeps the cache honest across graph
+        # *versions*: an incremental recompile mutates a block while keeping
+        # the graph name and operator names, and must not see stale prices.
+        key = (graph.name, graph.batch_size, graph.fingerprint(), frozenset(op_names), strategy)
         if key in self._cache:
             return self._cache[key]
-        latency = self._measure_stage(graph, tuple(op_names), strategy)
+        latency = self._measure_stage(graph, tuple(op_names), strategy, groups)
         self._cache[key] = latency
         self.num_measurements += 1
         return latency
 
     def generate_stage(self, graph: Graph, op_names: Sequence[str],
-                       strategies: Sequence[ParallelizationStrategy] | None = None) -> StageChoice:
+                       strategies: Sequence[ParallelizationStrategy] | None = None,
+                       groups: Sequence[Sequence[str]] | None = None) -> StageChoice:
         """GENERATE STAGE: pick the better parallelisation strategy for a stage.
 
         ``strategies`` restricts the candidates (IOS-Parallel considers only
@@ -89,17 +125,19 @@ class CostModel(ABC):
         for strategy in candidates:
             if strategy is ParallelizationStrategy.MERGE:
                 if len(op_names) >= 2 and can_merge(graph, op_names):
-                    latency = self.stage_latency(graph, op_names, strategy)
+                    latency = self.stage_latency(graph, op_names, strategy, groups)
                 else:
                     continue
             else:
-                latency = self.stage_latency(graph, op_names, strategy)
+                latency = self.stage_latency(graph, op_names, strategy, groups)
             if best is None or latency < best.latency_ms:
                 best = StageChoice(latency_ms=latency, strategy=strategy)
         if best is None:
             # Only MERGE was requested and the stage is not mergeable: fall
             # back to executing the operators sequentially in one group.
-            latency = self.stage_latency(graph, op_names, ParallelizationStrategy.CONCURRENT)
+            latency = self.stage_latency(
+                graph, op_names, ParallelizationStrategy.CONCURRENT, groups
+            )
             best = StageChoice(latency_ms=latency, strategy=ParallelizationStrategy.CONCURRENT)
         return best
 
@@ -111,18 +149,22 @@ class CostModel(ABC):
 
 
 def stage_to_execution(graph: Graph, op_names: Sequence[str],
-                       strategy: ParallelizationStrategy, label: str = "") -> ExecutionStage:
+                       strategy: ParallelizationStrategy, label: str = "",
+                       groups: Sequence[Sequence[str]] | None = None) -> ExecutionStage:
     """Lower one (operators, strategy) stage into an executable stage.
 
     Shared by the cost models and by :mod:`repro.core.lowering` so that the
     latency used during the search is exactly the latency of the executed
-    schedule.
+    schedule.  ``groups``, when given, must equal
+    :func:`~repro.core.schedule.connected_groups` for ``op_names`` and lets
+    callers that already know the decomposition skip recomputing it.
     """
     if strategy is ParallelizationStrategy.MERGE and len(op_names) >= 2:
         merged = build_merged_operator(graph, op_names)
         operators = [[merged.merged]]
         return ExecutionStage(groups=operators, strategy=strategy.value, label=label)
-    groups = connected_groups(graph, op_names)
+    if groups is None:
+        groups = connected_groups(graph, op_names)
     operator_groups = [[graph.nodes[name] for name in group] for group in groups]
     return ExecutionStage(groups=operator_groups, strategy=strategy.value, label=label)
 
@@ -152,10 +194,50 @@ class SimulatedCostModel(CostModel):
         )
 
     def _measure_stage(
-        self, graph: Graph, op_names: tuple[str, ...], strategy: ParallelizationStrategy
+        self,
+        graph: Graph,
+        op_names: tuple[str, ...],
+        strategy: ParallelizationStrategy,
+        groups: Sequence[Sequence[str]] | None = None,
     ) -> float:
-        stage = stage_to_execution(graph, op_names, strategy)
+        stage = stage_to_execution(graph, op_names, strategy, groups=groups)
         return self.profiler.stage_latency_ms(stage)
+
+    def signature(self) -> tuple | None:
+        """Shareable identity: device, profile, and measurement protocol.
+
+        Noisy profilers return ``None`` — their measurements depend on RNG
+        state, so two searches of the same block can legitimately disagree.
+        The kernel profile is keyed structurally (name, efficiency table,
+        launch-overhead scale), so two equal profiles share even when they are
+        distinct objects.
+        """
+        profiler = self.profiler
+        if profiler.noise_std != 0.0:
+            return None
+        profile = self.profile
+        return (
+            "simulated",
+            self.device,
+            (
+                profile.name,
+                tuple(sorted(profile.efficiency.items())),
+                profile.default_efficiency,
+                profile.launch_overhead_scale,
+            ),
+            profiler.warmup,
+            profiler.repeats,
+        )
+
+    def spawn(self) -> "SimulatedCostModel | None":
+        if self.profiler.noise_std != 0.0:
+            return None
+        return SimulatedCostModel(
+            self.device,
+            self.profile,
+            warmup=self.profiler.warmup,
+            repeats=self.profiler.repeats,
+        )
 
 
 class FlopsCostModel(CostModel):
@@ -174,13 +256,24 @@ class FlopsCostModel(CostModel):
         self.flops_per_ms = flops_per_ms
         self.overhead_ms = overhead_ms
 
+    def signature(self) -> tuple | None:
+        return ("flops", self.flops_per_ms, self.overhead_ms)
+
+    def spawn(self) -> "FlopsCostModel":
+        return FlopsCostModel(flops_per_ms=self.flops_per_ms, overhead_ms=self.overhead_ms)
+
     def _measure_stage(
-        self, graph: Graph, op_names: tuple[str, ...], strategy: ParallelizationStrategy
+        self,
+        graph: Graph,
+        op_names: tuple[str, ...],
+        strategy: ParallelizationStrategy,
+        groups: Sequence[Sequence[str]] | None = None,
     ) -> float:
         if strategy is ParallelizationStrategy.MERGE and len(op_names) >= 2:
             merged = build_merged_operator(graph, op_names)
             return self.overhead_ms + merged.merged.flops() / self.flops_per_ms
-        groups = connected_groups(graph, op_names)
+        if groups is None:
+            groups = connected_groups(graph, op_names)
         group_latencies = []
         for group in groups:
             flops = sum(graph.nodes[name].flops() for name in group)

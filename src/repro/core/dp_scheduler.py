@@ -23,14 +23,19 @@ a block fingerprint cache.
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
+import os
 import time
 import warnings
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from ..ir.graph import Block, Graph
 from .cost_model import CostModel, StageChoice
 from .endings import BlockIndex, PruningStrategy, enumerate_endings
+from .memo import memo_enabled, schedule_memo
 from .merge import can_merge
 from .schedule import ParallelizationStrategy, Schedule, Stage
 from .width import maximum_antichain_size
@@ -45,6 +50,8 @@ __all__ = [
     "VALID_VARIANTS",
     "normalize_variant",
     "variant_label",
+    "resolve_compile_jobs",
+    "shutdown_search_pools",
 ]
 
 
@@ -138,7 +145,15 @@ class SchedulerConfig:
 
 @dataclass
 class BlockStats:
-    """Search statistics for one block (feeds Table 1 and Figure 9)."""
+    """Search statistics for one block (feeds Table 1 and Figure 9).
+
+    ``source`` records where the block's stages came from: ``"search"`` (a DP
+    search ran inline), ``"parallel"`` (a worker process ran the search),
+    ``"block-cache"`` (reused from an identical block of this scheduler),
+    ``"memo"`` (reused from the process-wide schedule memo), ``"spliced"``
+    (carried over unchanged from a prior compile by the engine's incremental
+    path), or ``"empty"`` (no schedulable operators).
+    """
 
     block_name: str
     num_operators: int
@@ -149,6 +164,9 @@ class BlockStats:
     optimized_latency_ms: float = 0.0
     elapsed_s: float = 0.0
     reused_from: str | None = None
+    #: Number of stages the block's schedule occupies (artifact block records).
+    num_stages: int = 0
+    source: str = "search"
 
 
 @dataclass
@@ -180,52 +198,162 @@ class ScheduleResult:
 
 
 class IOSScheduler:
-    """Dynamic-programming inter-operator scheduler (Algorithm 1)."""
+    """Dynamic-programming inter-operator scheduler (Algorithm 1).
+
+    Block searches are reused at three levels, all keyed on the same
+    structural block fingerprint: the per-instance ``_block_cache`` (repeated
+    blocks inside one scheduler, e.g. NasNet cells), the process-wide
+    :func:`~repro.core.memo.schedule_memo` (identical blocks across engines /
+    registries, gated on the cost model's :meth:`~CostModel.signature`), and —
+    for a cold multi-block graph — an optional multiprocessing fan-out that
+    searches independent blocks in worker processes (``optimize_graph(...,
+    jobs=N)``) and seeds the caches with their results in deterministic block
+    order.  Every path yields byte-identical schedules to the plain serial
+    search; only wall-clock time and *where* measurements happen differ.
+    """
 
     def __init__(self, cost_model: CostModel, config: SchedulerConfig | None = None):
         self.cost_model = cost_model
         self.config = config or SchedulerConfig()
         #: Cache of per-block results keyed by structural fingerprint.
         self._block_cache: dict[tuple, tuple[list[tuple[tuple[int, ...], ParallelizationStrategy]], BlockStats]] = {}
+        #: Fingerprints searched by worker processes but not yet consumed: the
+        #: first block that uses one reports the worker's full search stats
+        #: instead of a cache-hit stub.
+        self._fresh_results: set[tuple] = set()
+        self._memo_signature_cache: tuple | None | str = "unset"
+
+    # ----------------------------------------------------------------- memo
+    def _memo_signature(self) -> tuple | None:
+        """The cost model's shareable signature, combined with the config."""
+        if self._memo_signature_cache == "unset":
+            signature = self.cost_model.signature()
+            self._memo_signature_cache = None if signature is None else signature
+        return self._memo_signature_cache  # type: ignore[return-value]
+
+    def _rebind(self, index: BlockIndex, cached_stages) -> list[Stage]:
+        """Bind position-based cached stages to this block's operator names."""
+        names = index.names
+        return [
+            Stage(tuple(names[i] for i in positions), strategy)
+            for positions, strategy in cached_stages
+        ]
 
     # --------------------------------------------------------------- block DP
-    def optimize_block(self, graph: Graph, block: Block) -> tuple[list[Stage], BlockStats]:
+    def optimize_block(
+        self, graph: Graph, block: Block, *, use_memo: bool = True
+    ) -> tuple[list[Stage], BlockStats]:
         """Find an optimal stage decomposition for one block.
 
         Returns the stages (in execution order) and the search statistics.
+        ``use_memo=False`` skips the process-wide memo in both directions
+        (the per-instance block cache still applies).
         """
         op_names = graph.schedulable_names(block)
         if not op_names:
-            return [], BlockStats(block_name=block.name, num_operators=0, width=0)
+            return [], BlockStats(
+                block_name=block.name, num_operators=0, width=0, source="empty"
+            )
 
         fingerprint = self._block_fingerprint(graph, op_names)
         index = BlockIndex(graph, op_names)
 
-        if self.config.reuse_identical_blocks and fingerprint in self._block_cache:
-            cached_stages, cached_stats = self._block_cache[fingerprint]
-            stages = [
-                Stage(tuple(index.names[i] for i in positions), strategy)
-                for positions, strategy in cached_stages
-            ]
-            stats = BlockStats(
-                block_name=block.name,
-                num_operators=cached_stats.num_operators,
-                width=cached_stats.width,
-                num_states=cached_stats.num_states,
-                num_transitions=cached_stats.num_transitions,
-                num_measurements=0,
-                optimized_latency_ms=cached_stats.optimized_latency_ms,
-                elapsed_s=0.0,
-                reused_from=cached_stats.block_name,
-            )
-            return stages, stats
+        if self.config.reuse_identical_blocks:
+            entry = self._block_cache.get(fingerprint)
+            if entry is not None:
+                cached_stages, cached_stats = entry
+                stages = self._rebind(index, cached_stages)
+                if fingerprint in self._fresh_results:
+                    # First consumption of a worker-process search: report the
+                    # real search stats (the work happened, in a worker).
+                    self._fresh_results.discard(fingerprint)
+                    return stages, replace(cached_stats, block_name=block.name)
+                stats = replace(
+                    cached_stats,
+                    block_name=block.name,
+                    num_measurements=0,
+                    elapsed_s=0.0,
+                    reused_from=cached_stats.block_name,
+                    source="block-cache",
+                )
+                return stages, stats
+
+        use_memo = use_memo and self.config.reuse_identical_blocks
+        memo = schedule_memo() if use_memo and memo_enabled() else None
+        signature = self._memo_signature() if memo is not None else None
+        if memo is not None and signature is not None:
+            entry = memo.get(signature, fingerprint)
+            if entry is not None:
+                cached_stages, cached_stats = entry
+                self._block_cache[fingerprint] = entry
+                stages = self._rebind(index, cached_stages)
+                stats = replace(
+                    cached_stats,
+                    block_name=block.name,
+                    num_measurements=0,
+                    elapsed_s=0.0,
+                    reused_from=f"memo:{cached_stats.block_name}",
+                    source="memo",
+                )
+                return stages, stats
 
         start = time.perf_counter()
         measurements_before = self.cost_model.num_measurements
 
+        stage_masks, optimal_latency, num_states, transitions = self._search_block_dp(
+            graph, index, block.name
+        )
+
+        names_of = index.names_of
+        stages = [Stage(names_of(mask), strategy) for mask, strategy in stage_masks]
+        stats = BlockStats(
+            block_name=block.name,
+            num_operators=index.n,
+            width=maximum_antichain_size(graph, op_names),
+            num_states=num_states,
+            num_transitions=transitions,
+            num_measurements=self.cost_model.num_measurements - measurements_before,
+            optimized_latency_ms=optimal_latency,
+            elapsed_s=time.perf_counter() - start,
+            num_stages=len(stages),
+            source="search",
+        )
+
+        cached_stages = [
+            (tuple(i for i in range(index.n) if mask >> i & 1), strategy)
+            for mask, strategy in stage_masks
+        ]
+        if self.config.reuse_identical_blocks:
+            self._block_cache[fingerprint] = (cached_stages, stats)
+        if memo is not None and signature is not None:
+            memo.put(signature, fingerprint, cached_stages, stats)
+        return stages, stats
+
+    def _search_block_dp(
+        self, graph: Graph, index: BlockIndex, block_name: str
+    ) -> tuple[list[tuple[int, ParallelizationStrategy]], float, int, int]:
+        """The DP search proper: SCHEDULER(S) over the block's subset lattice.
+
+        Returns ``(stage_masks, optimal_latency, num_states, transitions)``.
+        Candidate endings recur across states, so their GENERATE STAGE result
+        is cached per ending bitmask — the latency values (and hence the
+        chosen schedule) are identical to pricing every transition directly.
+        """
+        config = self.config
+        pruning = config.pruning
+        strategies = config.strategies
+        cost_model = self.cost_model
+        generate_stage = cost_model.generate_stage
+        names_of = index.names_of
+        merge_only = ParallelizationStrategy.CONCURRENT not in strategies
+
         cost: dict[int, float] = {0: 0.0}
         choice: dict[int, tuple[int, ParallelizationStrategy]] = {}
+        #: GENERATE STAGE result per candidate ending; ``None`` marks endings
+        #: skipped by the IOS-Merge variant (unmergeable multi-operator sets).
+        ending_choice: dict[int, StageChoice | None] = {}
         transitions = 0
+        inf = float("inf")
 
         def scheduler(state: int) -> float:
             """SCHEDULER(S): minimal latency over all schedules of ``state``."""
@@ -233,28 +361,37 @@ class IOSScheduler:
             cached = cost.get(state)
             if cached is not None:
                 return cached
-            best = float("inf")
+            best = inf
             best_choice: tuple[int, ParallelizationStrategy] | None = None
-            merge_only = ParallelizationStrategy.CONCURRENT not in self.config.strategies
-            for ending, _groups in enumerate_endings(index, state, self.config.pruning):
-                op_subset = index.names_of(ending)
-                if merge_only and len(op_subset) > 1 and not can_merge(graph, op_subset):
-                    # The IOS-Merge variant only forms multi-operator stages by
-                    # merging; unmergeable endings degenerate to single-operator
-                    # stages, so skip them (Section 6.1: IOS-Merge equals the
-                    # sequential schedule on RandWire/NasNet).
+            for ending, group_masks in enumerate_endings(index, state, pruning):
+                stage_choice = ending_choice.get(ending, False)
+                if stage_choice is False:
+                    op_subset = names_of(ending)
+                    if merge_only and len(op_subset) > 1 and not can_merge(graph, op_subset):
+                        # The IOS-Merge variant only forms multi-operator
+                        # stages by merging; unmergeable endings degenerate to
+                        # single-operator stages, so skip them (Section 6.1:
+                        # IOS-Merge equals the sequential schedule on
+                        # RandWire/NasNet).
+                        ending_choice[ending] = None
+                        continue
+                    # The enumeration already yields the ending's connected
+                    # groups (ordered and topo-sorted exactly like
+                    # ``connected_groups``), so pass them through and spare
+                    # the cost model a recomputation per measurement.
+                    groups = [names_of(mask) for mask in group_masks]
+                    stage_choice = generate_stage(graph, op_subset, strategies, groups)
+                    ending_choice[ending] = stage_choice
+                elif stage_choice is None:
                     continue
                 transitions += 1
-                stage_choice: StageChoice = self.cost_model.generate_stage(
-                    graph, op_subset, self.config.strategies
-                )
                 total = scheduler(state & ~ending) + stage_choice.latency_ms
                 if total < best:
                     best = total
                     best_choice = (ending, stage_choice.strategy)
             if best_choice is None:
                 raise RuntimeError(
-                    f"no admissible ending found for a state of block {block.name!r}; "
+                    f"no admissible ending found for a state of block {block_name!r}; "
                     "the pruning strategy is too restrictive"
                 )
             cost[state] = best
@@ -272,31 +409,73 @@ class IOSScheduler:
             reversed_stages.append((ending, strategy))
             state &= ~ending
         stage_masks = list(reversed(reversed_stages))
+        return stage_masks, optimal_latency, len(cost) - 1, transitions
 
-        stages = [
-            Stage(index.names_of(mask), strategy) for mask, strategy in stage_masks
-        ]
-        stats = BlockStats(
-            block_name=block.name,
-            num_operators=index.n,
-            width=maximum_antichain_size(graph, op_names),
-            num_states=len(cost) - 1,
-            num_transitions=transitions,
-            num_measurements=self.cost_model.num_measurements - measurements_before,
-            optimized_latency_ms=optimal_latency,
-            elapsed_s=time.perf_counter() - start,
-        )
+    # ------------------------------------------------------- parallel fan-out
+    def _parallel_warm_cache(
+        self, graph: Graph, blocks: Sequence[Block], jobs: int, use_memo: bool
+    ) -> None:
+        """Search independent uncached blocks in worker processes.
 
-        if self.config.reuse_identical_blocks:
-            cached_stages = [
-                (tuple(i for i in range(index.n) if mask >> i & 1), strategy)
-                for mask, strategy in stage_masks
+        Results seed the block cache (and memo) in deterministic block order,
+        so the subsequent serial pass replays them exactly as an inline search
+        would have produced them.  Falls back to the serial path silently when
+        the cost model cannot be cloned (``spawn() is None``) and with a
+        warning when the pool itself fails.
+        """
+        if jobs <= 1 or not self.config.reuse_identical_blocks:
+            return
+        spawned = self.cost_model.spawn()
+        if spawned is None:
+            return
+        memo = schedule_memo() if use_memo and memo_enabled() else None
+        signature = self._memo_signature() if memo is not None else None
+
+        tasks: list[tuple[str, tuple]] = []
+        seen: set[tuple] = set()
+        for block in blocks:
+            op_names = graph.schedulable_names(block)
+            if not op_names:
+                continue
+            fingerprint = self._block_fingerprint(graph, op_names)
+            if fingerprint in seen or fingerprint in self._block_cache:
+                continue
+            if memo is not None and signature is not None and memo.contains(signature, fingerprint):
+                continue
+            seen.add(fingerprint)
+            tasks.append((block.name, fingerprint))
+        if len(tasks) < 2:
+            return
+
+        try:
+            pool = _get_search_pool(jobs)
+            futures = [
+                pool.submit(_search_block_worker, (graph, name, self.config, spawned))
+                for name, _ in tasks
             ]
-            self._block_cache[fingerprint] = (cached_stages, stats)
-        return stages, stats
+            for (name, fingerprint), future in zip(tasks, futures):
+                cached_stages, stats = future.result()
+                self._block_cache[fingerprint] = (cached_stages, stats)
+                self._fresh_results.add(fingerprint)
+                if memo is not None and signature is not None:
+                    memo.put(signature, fingerprint, cached_stages, stats)
+        except Exception as error:  # pragma: no cover - environment dependent
+            warnings.warn(
+                f"parallel block search failed ({error!r}); continuing serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------- whole graph
-    def optimize_graph(self, graph: Graph, passes=None) -> ScheduleResult:
+    def optimize_graph(
+        self,
+        graph: Graph,
+        passes=None,
+        *,
+        jobs: int = 1,
+        precomputed: dict[str, tuple[list[Stage], BlockStats]] | None = None,
+        use_memo: bool = True,
+    ) -> ScheduleResult:
         """Optimise every block of ``graph`` and concatenate the block schedules.
 
         .. deprecated:: 1.3
@@ -332,8 +511,18 @@ class IOSScheduler:
             pass_stats = pass_result.stats
         schedule = Schedule(graph_name=graph.name, origin=self._origin_label())
         all_stats: list[BlockStats] = []
+        precomputed = precomputed or {}
+        if jobs > 1:
+            pending = [b for b in graph.blocks if b.name not in precomputed]
+            self._parallel_warm_cache(graph, pending, jobs, use_memo)
         for block in graph.blocks:
-            stages, stats = self.optimize_block(graph, block)
+            entry = precomputed.get(block.name)
+            if entry is not None:
+                stages, stats = entry
+            else:
+                stages, stats = self.optimize_block(graph, block, use_memo=use_memo)
+            if stats.num_stages == 0 and stages:
+                stats.num_stages = len(stages)
             schedule.extend(stages)
             all_stats.append(stats)
         schedule.validate(graph)
@@ -375,3 +564,76 @@ class IOSScheduler:
             self.config.pruning,
             tuple(self.config.strategies),
         )
+
+
+# --------------------------------------------------------------------------- #
+# Parallel search workers                                                      #
+# --------------------------------------------------------------------------- #
+def _search_block_worker(payload: tuple) -> tuple[list, BlockStats]:
+    """Search one block in a worker process.
+
+    ``payload`` is ``(graph, block_name, config, cost_model)`` where the cost
+    model is a fresh clone from :meth:`CostModel.spawn`.  Returns the
+    position-based cached stages (rename-invariant, the block-cache encoding)
+    and the search stats, which the parent seeds into its caches.
+    """
+    graph, block_name, config, cost_model = payload
+    scheduler = IOSScheduler(cost_model, config)
+    block = next(b for b in graph.blocks if b.name == block_name)
+    _stages, stats = scheduler.optimize_block(graph, block, use_memo=False)
+    op_names = graph.schedulable_names(block)
+    fingerprint = scheduler._block_fingerprint(graph, op_names)
+    cached_stages, _ = scheduler._block_cache[fingerprint]
+    stats.source = "parallel"
+    return cached_stages, stats
+
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_search_pool(jobs: int) -> ProcessPoolExecutor:
+    """A cached process pool with ``jobs`` workers (fork context on POSIX)."""
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown_search_pools() -> None:
+    """Shut down every cached search pool (registered at interpreter exit)."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_search_pools)
+
+
+def resolve_compile_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a compile-parallelism setting to a concrete worker count.
+
+    ``None`` reads the ``REPRO_COMPILE_JOBS`` environment variable (default
+    ``1`` — serial).  ``"auto"``, ``"0"`` or any non-positive number mean
+    "one worker per CPU".  Anything else must be a positive integer.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_COMPILE_JOBS", "1")
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text in ("auto", "0"):
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(text or "1")
+        except ValueError:
+            raise ValueError(
+                f"invalid compile jobs value {jobs!r}; expected a positive "
+                "integer, '0' or 'auto'"
+            ) from None
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(jobs)

@@ -158,41 +158,76 @@ def enumerate_endings(
     block: BlockIndex,
     state: int,
     pruning: PruningStrategy | None = None,
-) -> Iterator[tuple[int, list[int]]]:
-    """Yield every admissible ending of ``state`` with its group decomposition.
+) -> list[tuple[int, list[int]]]:
+    """Every admissible ending of ``state`` with its group decomposition.
 
-    Yields ``(ending_mask, group_masks)`` pairs.  Endings are exactly the
+    Returns ``(ending_mask, group_masks)`` pairs in a deterministic order
+    (depth-first, excluding each operator before including it — the order the
+    DP's first-wins tie-breaking depends on).  Endings are exactly the
     non-empty successor-closed subsets of ``state``; the pruning strategy
     filters them by group count and group size.
     """
     pruning = pruning or PruningStrategy.unpruned()
     members = [i for i in range(block.n) if state >> i & 1]
     if not members:
-        return
+        return []
     max_ops = pruning.max_operators
+    max_groups = pruning.max_groups
+    max_group_size = pruning.max_group_size
     succ_mask = block.succ_mask
+    adj_mask = block.adj_mask
 
     # Process operators in reverse topological order so that by the time we
     # decide whether to include an operator, all of its successors (which have
     # larger topological indices) have already been decided.
     order = list(reversed(members))
+    # Successors-inside-the-state per position, so the closedness check in the
+    # hot recursion is two bitwise ops on precomputed masks.
+    succ_in_state = [succ_mask[node] & state for node in order]
+    include_bit = [1 << node for node in order]
+    adj_of_position = [adj_mask[node] for node in order]
+    last = len(order)
+    out: list[tuple[int, list[int]]] = []
+    append = out.append
 
-    def recurse(position: int, chosen: int, size: int) -> Iterator[tuple[int, list[int]]]:
-        if position == len(order):
-            if chosen:
-                groups = groups_of_mask(block, chosen)
-                if pruning.admits([g.bit_count() for g in groups]):
-                    yield chosen, groups
+    # The group decomposition is maintained incrementally along the DFS path
+    # instead of recomputed at each leaf.  Positions are visited in order of
+    # decreasing bit index, so a newly included operator always carries the
+    # lowest bit of the partial ending: the group it forms (or merges into)
+    # sorts first, and untouched groups keep their relative order — exactly
+    # the ascending-lowest-bit order :func:`groups_of_mask` produces.  Groups
+    # only ever merge as further operators are included, so a group that
+    # exceeds ``max_group_size`` can never shrink back: the whole include
+    # subtree is pruned on the spot rather than rejected leaf by leaf.
+    def recurse(position: int, chosen: int, size: int, groups: tuple[int, ...]) -> None:
+        if position == last:
+            if chosen and (max_groups is None or len(groups) <= max_groups):
+                append((chosen, list(groups)))
             return
-        node = order[position]
         # Option 1: exclude this operator.
-        yield from recurse(position + 1, chosen, size)
+        recurse(position + 1, chosen, size, groups)
         # Option 2: include it, allowed only if all its successors inside the
         # state are already included (successor-closedness).
-        if (succ_mask[node] & state) & ~chosen:
+        if succ_in_state[position] & ~chosen:
             return
-        if max_ops is not None and size + 1 > max_ops:
+        if max_ops is not None and size >= max_ops:
             return
-        yield from recurse(position + 1, chosen | (1 << node), size + 1)
+        bit = include_bit[position]
+        adjacent = adj_of_position[position] & chosen
+        if adjacent:
+            merged = bit
+            rest = []
+            for group in groups:
+                if group & adjacent:
+                    merged |= group
+                else:
+                    rest.append(group)
+            if max_group_size is not None and merged.bit_count() > max_group_size:
+                return
+            new_groups = (merged, *rest)
+        else:
+            new_groups = (bit, *groups)
+        recurse(position + 1, chosen | bit, size + 1, new_groups)
 
-    yield from recurse(0, 0, 0)
+    recurse(0, 0, 0, ())
+    return out

@@ -80,8 +80,9 @@ def connected_groups(graph: Graph, op_names: Sequence[str]) -> list[list[str]]:
     groups: dict[str, list[str]] = {}
     for name in topo:
         groups.setdefault(find(name), []).append(name)
-    ordered_roots = sorted(groups, key=lambda root: topo.index(groups[root][0]))
-    return [groups[root] for root in ordered_roots]
+    # Roots enter the dict in order of their first member's topological
+    # position, which is exactly the deterministic order promised above.
+    return list(groups.values())
 
 
 @dataclass(frozen=True)

@@ -34,12 +34,51 @@ from ..ir.serialization import graph_from_dict, graph_to_dict
 from ..runtime.executor import ExecutionPlan, ExecutionResult, Executor
 from .stages import node_digest
 
-__all__ = ["StageTiming", "CompileStats", "CompiledModel", "ARTIFACT_FORMAT"]
+__all__ = ["StageTiming", "CompileStats", "BlockRecord", "CompiledModel", "ARTIFACT_FORMAT"]
 
 #: Marker identifying a persisted compiled-model artifact (vs. a bare
 #: schedule document, which has no ``format`` key).
 ARTIFACT_FORMAT = "repro/compiled-model"
 ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Where one block's stages live inside a compiled schedule.
+
+    ``digest`` is the name-sensitive :func:`repro.engine.stages.block_digest`
+    of the block at compile time; ``start``/``count`` delimit the block's
+    slice of the schedule's stage list.  The engine's incremental path matches
+    these records against a changed graph's blocks to splice unchanged stages
+    instead of re-searching them.  Absent from pre-existing artifacts (the
+    field was added without a version bump); loaders treat a missing list as
+    "no incremental reuse possible", never as an error.
+    """
+
+    name: str
+    digest: str
+    start: int
+    count: int
+    latency_ms: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "digest": self.digest,
+            "start": self.start,
+            "count": self.count,
+            "latency_ms": self.latency_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BlockRecord":
+        return cls(
+            name=data["name"],
+            digest=data["digest"],
+            start=int(data["start"]),
+            count=int(data["count"]),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -167,6 +206,9 @@ class CompiledModel:
     #: Full DP-search result when this model was compiled in-process;
     #: ``None`` after :meth:`load` (searches are exactly what loading avoids).
     search: ScheduleResult | None = field(default=None, repr=False)
+    #: Per-block digests + schedule spans, for incremental recompilation.
+    #: Empty when unknown (pre-existing artifacts, :meth:`from_schedule`).
+    blocks: list[BlockRecord] = field(default_factory=list)
     _execution: ExecutionResult | None = field(default=None, init=False, repr=False)
 
     # ------------------------------------------------------------- identity
@@ -238,6 +280,7 @@ class CompiledModel:
             "graph": graph_to_dict(self.graph),
             "schedule": self.schedule.to_dict(),
             "stats": self.stats.as_dict(),
+            "blocks": [record.as_dict() for record in self.blocks],
         }
 
     @classmethod
@@ -289,6 +332,7 @@ class CompiledModel:
             source_node_digest=source.get("node_digest", node_digest(graph)),
             source_fingerprint=source.get("fingerprint", ""),
             fingerprint=data.get("fingerprint", graph_fingerprint(graph)),
+            blocks=[BlockRecord.from_dict(b) for b in data.get("blocks", [])],
         )
 
     def save(self, path: str | Path) -> Path:

@@ -27,20 +27,22 @@ from pathlib import Path
 
 from ..core.cost_model import SimulatedCostModel
 from ..core.dp_scheduler import (
+    BlockStats,
     IOSScheduler,
     SchedulerConfig,
     normalize_variant,
+    resolve_compile_jobs,
     variant_label,
 )
 from ..core.endings import PruningStrategy
 from ..core.lowering import lower_schedule
+from ..core.width import maximum_antichain_size
 from ..hardware.device import DeviceSpec, get_device
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
-from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
 from ..obs.trace import NULL_TRACER, Tracer
-from .compiled import CompiledModel, CompileStats, StageTiming
-from .stages import apply_passes, graph_identity
+from .compiled import BlockRecord, CompiledModel, CompileStats, StageTiming
+from .stages import apply_passes, block_digest, graph_identity
 
 __all__ = ["Engine", "EngineStats", "get_engine", "get_engines", "clear_engine_pool"]
 
@@ -50,13 +52,21 @@ class EngineStats:
     """Where an engine's compile requests were satisfied.
 
     ``searches`` counts compiles that actually ran the DP search — the
-    expensive event the cache and artifact loading exist to avoid.
+    expensive event the cache and artifact loading exist to avoid.  The
+    block-level counters break one such compile down: ``block_searches``
+    blocks were searched (inline or in a worker process), ``block_memo_hits``
+    came from the process-wide schedule memo, and ``blocks_spliced`` were
+    carried over unchanged from this engine's previous compile of the same
+    graph (incremental recompilation).
     """
 
     compiles: int = 0
     cache_hits: int = 0
     searches: int = 0
     loads: int = 0
+    block_searches: int = 0
+    block_memo_hits: int = 0
+    blocks_spliced: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """All counters as one flat dict (reports, benchmarks)."""
@@ -65,6 +75,9 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "searches": self.searches,
             "loads": self.loads,
+            "block_searches": self.block_searches,
+            "block_memo_hits": self.block_memo_hits,
+            "blocks_spliced": self.blocks_spliced,
         }
 
 
@@ -94,6 +107,12 @@ class Engine:
         Inject a pre-built :class:`~repro.core.IOSScheduler` (tests and the
         serve registry's ``scheduler_factory`` use this); its config becomes
         the engine's config.
+    jobs:
+        Worker processes for cold multi-block searches: ``1`` is serial,
+        ``N > 1`` searches independent blocks in ``N`` processes, ``0`` /
+        ``"auto"`` uses every CPU.  ``None`` (default) reads the
+        ``REPRO_COMPILE_JOBS`` environment variable at each compile.
+        Schedules are identical either way.
     tracer:
         Optional :class:`~repro.obs.Tracer`; each compile then records its
         Graph → Schedule → Plan stages as wall-clock spans on the
@@ -124,10 +143,12 @@ class Engine:
         profile: KernelProfile = CUDNN_PROFILE,
         scheduler: IOSScheduler | None = None,
         tracer: Tracer | None = None,
+        jobs: int | str | None = None,
     ):
         self.device = get_device(device) if isinstance(device, str) else device
         self.profile = profile
         self.passes = passes
+        self.jobs = jobs
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if scheduler is not None:
             if config is not None or variant is not None or pruning is not None:
@@ -149,6 +170,10 @@ class Engine:
             )
         self.stats = EngineStats()
         self._cache: dict[tuple[str, str, str], CompiledModel] = {}
+        #: Latest compiled model per *optimized* graph name, for incremental
+        #: recompilation: a changed graph re-searches only the blocks whose
+        #: digests differ and splices the rest from here.
+        self._prior: dict[str, CompiledModel] = {}
 
     # ------------------------------------------------------------ properties
     @property
@@ -206,16 +231,32 @@ class Engine:
         gpu_ms_before = getattr(profiler, "total_profiling_ms", 0.0)
         span_start = tracer.now_ms() if tracer else 0.0
         start = time.perf_counter()
-        result = self.scheduler.optimize_graph(optimized)
+        digests = {block.name: block_digest(optimized, block) for block in optimized.blocks}
+        precomputed = self._spliceable_blocks(optimized, digests) if use_cache else {}
+        jobs = resolve_compile_jobs(self.jobs)
+        result = self.scheduler.optimize_graph(
+            optimized, jobs=jobs, precomputed=precomputed, use_memo=use_cache
+        )
         if pass_stats is not None:
             result.pass_stats = pass_stats
         num_measurements = getattr(cost_model, "num_measurements", 0) - measurements_before
         profiling_gpu_ms = getattr(profiler, "total_profiling_ms", 0.0) - gpu_ms_before
+        sources = [stats.source for stats in result.block_stats]
+        block_searches = sum(1 for s in sources if s in ("search", "parallel"))
+        block_memo_hits = sum(1 for s in sources if s == "memo")
+        blocks_spliced = sum(1 for s in sources if s == "spliced")
+        self.stats.block_searches += block_searches
+        self.stats.block_memo_hits += block_memo_hits
+        self.stats.blocks_spliced += blocks_spliced
         details = {
             "blocks": len(result.block_stats),
             "transitions": result.total_transitions,
             "measurements": num_measurements,
             "predicted_latency_ms": result.predicted_latency_ms,
+            "block_searches": block_searches,
+            "block_memo_hits": block_memo_hits,
+            "blocks_spliced": blocks_spliced,
+            "jobs": jobs,
         }
         timings.append(StageTiming("schedule", time.perf_counter() - start, details))
         if tracer:
@@ -242,13 +283,27 @@ class Engine:
             stages=timings,
             source_fingerprint=source_fingerprint,
             optimized_fingerprint=(
-                graph_fingerprint(optimized) if optimized is not graph else source_fingerprint
+                optimized.fingerprint() if optimized is not graph else source_fingerprint
             ),
             operators_in=operators_in,
             operators_out=operators_out,
             num_measurements=num_measurements,
             profiling_gpu_ms=profiling_gpu_ms,
         )
+        block_records: list[BlockRecord] = []
+        cursor = 0
+        for block_stats in result.block_stats:
+            block_records.append(
+                BlockRecord(
+                    name=block_stats.block_name,
+                    digest=digests.get(block_stats.block_name, ""),
+                    start=cursor,
+                    count=block_stats.num_stages,
+                    latency_ms=block_stats.optimized_latency_ms,
+                )
+            )
+            cursor += block_stats.num_stages
+
         compiled = CompiledModel(
             graph=optimized,
             schedule=result.schedule,
@@ -262,12 +317,51 @@ class Engine:
             source_fingerprint=source_fingerprint,
             fingerprint=stats.optimized_fingerprint,
             search=result,
+            blocks=block_records,
         )
         self.stats.compiles += 1
         self.stats.searches += 1
         if use_cache:
             self._cache[key] = compiled
+            self._prior[optimized.name] = compiled
         return compiled
+
+    def _spliceable_blocks(
+        self, optimized: Graph, digests: dict[str, str]
+    ) -> dict[str, tuple[list, BlockStats]]:
+        """Stages reusable verbatim from the prior compile of this graph name.
+
+        Matches the new graph's block digests against the prior compiled
+        model's :class:`~repro.engine.compiled.BlockRecord` entries — by
+        digest, not name, so renamed or reordered blocks still match.  The
+        digest covers operator names, attributes, wiring and boundary shapes,
+        so a matching block's prior stage slice is valid verbatim; only dirty
+        blocks reach the scheduler.
+        """
+        prior = self._prior.get(optimized.name)
+        if prior is None or not prior.blocks:
+            return {}
+        by_digest = {record.digest: record for record in prior.blocks if record.digest}
+        precomputed: dict[str, tuple[list, BlockStats]] = {}
+        for block in optimized.blocks:
+            record = by_digest.get(digests.get(block.name, ""))
+            if record is None:
+                continue
+            stages = prior.schedule.stages[record.start : record.start + record.count]
+            op_names = optimized.schedulable_names(block)
+            if record.count and not stages:
+                continue
+            stats = BlockStats(
+                block_name=block.name,
+                num_operators=len(op_names),
+                width=maximum_antichain_size(optimized, op_names),
+                optimized_latency_ms=record.latency_ms,
+                reused_from=f"prior:{record.name}",
+                num_stages=len(stages),
+                source="spliced",
+            )
+            precomputed[block.name] = (list(stages), stats)
+        return precomputed
 
     def compile_model(self, name: str, batch_size: int = 1, **kwargs) -> CompiledModel:
         """Build a zoo model and compile it (convenience wrapper)."""
@@ -308,6 +402,10 @@ class Engine:
         self._cache[
             (compiled.source_graph_name, compiled.source_node_digest, compiled.source_fingerprint)
         ] = compiled
+        if compiled.blocks:
+            # A loaded artifact with block records seeds the incremental path:
+            # compiling a near-identical graph re-searches only changed blocks.
+            self._prior[compiled.graph.name] = compiled
         return compiled
 
     # ----------------------------------------------------------------- cache

@@ -28,6 +28,7 @@ figures reuse the cache.  Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Callable
@@ -213,6 +214,11 @@ def serve_main(argv: list[str] | None = None) -> int:
                         "normalised)")
     parser.add_argument("--registry-dir", default=None,
                         help="directory persisting optimised schedules across runs")
+    parser.add_argument("--compile-jobs", type=int, default=None, metavar="N",
+                        help="worker processes for cold compile searches "
+                        "(default: the REPRO_COMPILE_JOBS environment "
+                        "variable, else serial; 0 uses every CPU; schedules "
+                        "are identical either way)")
     parser.add_argument("--passes", action=argparse.BooleanOptionalAction, default=False,
                         help="run the repro.passes rewrite pipeline on served graphs "
                         "(schedule keys fingerprint the rewritten graph)")
@@ -264,6 +270,12 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     if args.requests <= 0:
         parser.error(f"--requests must be positive, got {args.requests}")
+    if args.compile_jobs is not None:
+        if args.compile_jobs < 0:
+            parser.error(f"--compile-jobs must be >= 0, got {args.compile_jobs}")
+        # Engines read REPRO_COMPILE_JOBS at each compile, so the flag reaches
+        # every engine the serving stack builds — pooled or per-device.
+        os.environ["REPRO_COMPILE_JOBS"] = str(args.compile_jobs)
     if args.num_workers is not None and args.num_workers <= 0:
         parser.error(f"--num-workers must be positive, got {args.num_workers}")
     _validate_topology_flags(args, parser)

@@ -68,6 +68,17 @@ class Graph:
         self.nodes: dict[str, Operator] = {}
         self.blocks: list[Block] = []
         self._consumers: dict[str, list[str]] = {}
+        # Cached input shape: ``input_shape``/``batch_size`` sit on the cost
+        # model's per-measurement path, where scanning every node for the
+        # placeholder dominated profiles.  Invalidated when a placeholder is
+        # added (the only mutation that can change it).
+        self._input_shape_cache: TensorShape | None = None
+        # Cached full topological order; every subset order is its restriction
+        # (see :meth:`topological_order`).  Invalidated on ``add_node``.
+        self._topo_cache: list[str] | None = None
+        # Cached structural fingerprint (see :meth:`fingerprint`); invalidated
+        # on ``add_node``.
+        self._fingerprint_cache: str | None = None
 
     # ---------------------------------------------------------------- mutation
     def add_node(self, op: Operator, block: Block | None = None) -> Operator:
@@ -83,6 +94,10 @@ class Graph:
         if op.output_shape is None and not isinstance(op, Placeholder):
             op.bind([self.nodes[p].output_shape for p in op.inputs])  # type: ignore[list-item]
         self.nodes[op.name] = op
+        if isinstance(op, Placeholder):
+            self._input_shape_cache = None
+        self._topo_cache = None
+        self._fingerprint_cache = None
         self._consumers.setdefault(op.name, [])
         for parent in op.inputs:
             self._consumers[parent].append(op.name)
@@ -94,6 +109,17 @@ class Graph:
         block = Block(name)
         self.blocks.append(block)
         return block
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived cache (topological order, fingerprint, input shape).
+
+        ``add_node`` invalidates these automatically; call this after any
+        *in-place* mutation of existing operators (rewired ``inputs``,
+        changed attributes) so stale derived state can never be observed.
+        """
+        self._input_shape_cache = None
+        self._topo_cache = None
+        self._fingerprint_cache = None
 
     # ----------------------------------------------------------------- queries
     def __contains__(self, name: str) -> bool:
@@ -112,15 +138,35 @@ class Graph:
     @property
     def input_shape(self) -> TensorShape:
         """Shape of the (single) graph input."""
+        cached = self._input_shape_cache
+        if cached is not None:
+            return cached
         phs = self.placeholders
         if len(phs) != 1:
             raise ValueError(f"graph {self.name!r} has {len(phs)} placeholders, expected 1")
         assert phs[0].output_shape is not None
+        self._input_shape_cache = phs[0].output_shape
         return phs[0].output_shape
 
     @property
     def batch_size(self) -> int:
         return self.input_shape.batch
+
+    def fingerprint(self) -> str:
+        """Cached structural fingerprint of this graph.
+
+        The canonical content identity from
+        :func:`repro.ir.fingerprint.graph_fingerprint`, computed once per
+        graph instance and invalidated on mutation.  Anything that caches
+        measurements or compile results *across* graph instances must key on
+        this (not on the graph name): two graphs can share a name and even
+        operator names while computing different things.
+        """
+        if self._fingerprint_cache is None:
+            from .fingerprint import graph_fingerprint
+
+            self._fingerprint_cache = graph_fingerprint(self)
+        return self._fingerprint_cache
 
     def predecessors(self, name: str) -> tuple[str, ...]:
         return self.nodes[name].inputs
@@ -156,26 +202,35 @@ class Graph:
 
     # ------------------------------------------------------------ graph algos
     def topological_order(self, subset: Sequence[str] | None = None) -> list[str]:
-        """Kahn topological sort of the whole graph or of an induced subgraph."""
-        if subset is None:
+        """Topological order of the whole graph or of an induced subgraph.
+
+        The full order is a Kahn sort, computed once and cached.  A subset
+        order is the restriction of the full order to the subset — so every
+        subset sees the *same* relative ordering of its members, no matter
+        which other operators accompany them.  The scheduler relies on this
+        consistency: the operator order a stage is priced with during the
+        search is exactly the order the lowered stage executes with.
+        """
+        order = self._topo_cache
+        if order is None:
             names = list(self.nodes.keys())
-        else:
-            names = [n for n in self.nodes if n in set(subset)]
-        name_set = set(names)
-        indegree = {n: sum(1 for p in self.nodes[n].inputs if p in name_set) for n in names}
-        ready = [n for n in names if indegree[n] == 0]
-        order: list[str] = []
-        while ready:
-            node = ready.pop(0)
-            order.append(node)
-            for succ in self.successors(node):
-                if succ in name_set:
+            indegree = {n: len(self.nodes[n].inputs) for n in names}
+            ready = [n for n in names if indegree[n] == 0]
+            order = []
+            while ready:
+                node = ready.pop(0)
+                order.append(node)
+                for succ in self.successors(node):
                     indegree[succ] -= 1
                     if indegree[succ] == 0:
                         ready.append(succ)
-        if len(order) != len(names):
-            raise ValueError(f"graph {self.name!r} contains a cycle")
-        return order
+            if len(order) != len(names):
+                raise ValueError(f"graph {self.name!r} contains a cycle")
+            self._topo_cache = order
+        if subset is None:
+            return list(order)
+        name_set = set(subset)
+        return [n for n in order if n in name_set]
 
     def induced_edges(self, subset: Sequence[str]) -> list[tuple[str, str]]:
         """Edges of the subgraph induced by ``subset`` (direct edges only)."""

@@ -43,7 +43,10 @@ def validate_graph(graph: Graph) -> None:
             f"found {len(placeholders)}"
         )
 
-    # Acyclicity (topological_order raises on cycles).
+    # Acyclicity (topological_order raises on cycles).  Validation must not
+    # trust derived caches: the caller may have mutated operators in place
+    # since they were computed.
+    graph.invalidate_caches()
     try:
         graph.topological_order()
     except ValueError as exc:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..hardware.contention import TimelineSegment
+from ..hardware.contention import TimelineSegment, simulate_streams
 from ..hardware.device import DeviceSpec
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile, build_kernel
 from ..hardware.streams import StagePlacement, run_stage_placement
@@ -142,19 +142,37 @@ class Executor:
         self.device = device
         self.profile = profile
         self.record_trace = record_trace
+        # Operators are immutable once bound, so their kernels are too.  The
+        # cache holds a strong reference to the operator, which pins its id()
+        # — an id can never be recycled while its entry exists.  During a DP
+        # search the same operators appear in thousands of candidate stages,
+        # so this turns kernel lowering into a dict hit.
+        self._kernel_cache: dict[int, tuple[Operator, "object"]] = {}
 
-    # ------------------------------------------------------------------- stages
-    def run_stage(self, stage: ExecutionStage, start_ms: float = 0.0, index: int = 0) -> StageResult:
-        """Execute a single stage starting at ``start_ms`` global time."""
+    # ------------------------------------------------------------------ kernels
+    def _kernel_groups(self, stage: ExecutionStage) -> list[list]:
+        """Lower a stage's operator groups to kernel groups (cached per op)."""
+        cache = self._kernel_cache
         kernel_groups = []
         for group in stage.groups:
             kernels = []
             for op in group:
-                kernel = build_kernel(op, self.device, self.profile)
+                entry = cache.get(id(op))
+                if entry is None:
+                    kernel = build_kernel(op, self.device, self.profile)
+                    cache[id(op)] = (op, kernel)
+                else:
+                    kernel = entry[1]
                 if kernel is not None:
                     kernels.append(kernel)
             if kernels:
                 kernel_groups.append(kernels)
+        return kernel_groups
+
+    # ------------------------------------------------------------------- stages
+    def run_stage(self, stage: ExecutionStage, start_ms: float = 0.0, index: int = 0) -> StageResult:
+        """Execute a single stage starting at ``start_ms`` global time."""
+        kernel_groups = self._kernel_groups(stage)
 
         if not kernel_groups:
             event = StageEvent(
@@ -204,6 +222,25 @@ class Executor:
             for seg in sim.timeline
         ]
         return StageResult(event=event, kernel_events=kernel_events, timeline=timeline)
+
+    def stage_latency_ms(self, stage: ExecutionStage) -> float:
+        """Latency of one stage without materialising events or timelines.
+
+        This is :meth:`run_stage` minus every piece of bookkeeping the DP
+        search never reads (stage/kernel events, timeline segments, stream
+        objects).  The arithmetic is identical — the same contention
+        simulation followed by the same synchronisation cost — so the result
+        equals ``run_stage(stage).latency_ms`` bit-for-bit.
+        """
+        kernel_groups = self._kernel_groups(stage)
+        if not kernel_groups:
+            return 0.0
+        sim = simulate_streams(
+            kernel_groups, self.device, record_trace=False, record_executions=False
+        )
+        num_streams = len(kernel_groups)
+        sim.latency_ms += self.device.stream_sync_overhead_ms * max(1, num_streams - 1)
+        return sim.latency_ms
 
     # -------------------------------------------------------------------- plans
     def run(self, plan: ExecutionPlan) -> ExecutionResult:

@@ -22,6 +22,23 @@ from .executor import ExecutionPlan, ExecutionStage, Executor
 __all__ = ["Measurement", "Profiler"]
 
 
+def _mean_of_repeated(value: float, repeats: int) -> float:
+    """``float(np.mean((value,) * repeats))``, without building the array.
+
+    The DP search consumes only the mean, and with noise disabled every
+    sample equals ``value`` — but the mean is *not* ``value`` (``(0.1 + 0.1 +
+    0.1) / 3`` rounds).  Schedule choices can tie-break on a ulp, so the fast
+    path must reproduce numpy's accumulation order bit-for-bit: sequential
+    for short arrays, numpy's own pairwise reduction otherwise.
+    """
+    if repeats < 8:
+        acc = value
+        for _ in range(repeats - 1):
+            acc += value
+        return acc / repeats
+    return float(np.mean(np.full(repeats, value)))
+
+
 @dataclass(frozen=True)
 class Measurement:
     """Aggregated latency measurement of one plan or stage."""
@@ -117,7 +134,19 @@ class Profiler:
         return self._measure(base)
 
     def stage_latency_ms(self, stage: ExecutionStage) -> float:
-        """Mean stage latency — the quantity the DP scheduler consumes."""
+        """Mean stage latency — the quantity the DP scheduler consumes.
+
+        With noise disabled this skips the :class:`Measurement` bookkeeping
+        (samples tuple, std) while reproducing the identical mean: samples are
+        all equal to the base latency, and :func:`_mean_of_repeated` matches
+        numpy's accumulation bit-for-bit.  Measurement and profiling-cost
+        accounting is unchanged either way.
+        """
+        if self.noise_std == 0.0:
+            self.measurement_count += 1
+            base = self.executor.stage_latency_ms(stage)
+            self.total_profiling_ms += (self.warmup + self.repeats) * base
+            return _mean_of_repeated(base, self.repeats)
         return self.measure_stage(stage).mean_ms
 
     def plan_latency_ms(self, plan: ExecutionPlan) -> float:

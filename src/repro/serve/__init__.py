@@ -99,7 +99,13 @@ from .metrics import (
     build_slo_summary,
     percentile,
 )
-from .registry import RegistryError, RegistryKey, RegistryStats, ScheduleRegistry
+from .registry import (
+    RegistryError,
+    RegistryKey,
+    RegistryStats,
+    ScheduleRegistry,
+    reset_legacy_warnings,
+)
 from .request import (
     FormedBatch,
     InferenceRequest,
@@ -152,6 +158,7 @@ __all__ = [
     "Router",
     "ScaleEvent",
     "ScheduleRegistry",
+    "reset_legacy_warnings",
     "ServingConfig",
     "ServingLoop",
     "ServingReport",

@@ -52,7 +52,23 @@ from ..ir.graph import Graph
 from ..models import build_model
 from ..obs.trace import NULL_TRACER, Tracer
 
-__all__ = ["RegistryKey", "RegistryStats", "RegistryError", "ScheduleRegistry"]
+__all__ = ["RegistryKey", "RegistryStats", "RegistryError", "ScheduleRegistry",
+           "reset_legacy_warnings"]
+
+#: Legacy entries already warned about, shared across registry instances.  A
+#: serving fleet builds one registry per worker over the same root; warning
+#: once per file *per process* (not per instance, and certainly not per
+#: lookup) keeps the log readable while still surfacing the stale file.
+_WARNED_LEGACY_PATHS: set[Path] = set()
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which legacy entries have already been warned about.
+
+    Test helper: lets a fresh test observe the warning again without
+    spawning a new process.
+    """
+    _WARNED_LEGACY_PATHS.clear()
 
 
 @dataclass(frozen=True, order=True)
@@ -191,7 +207,6 @@ class ScheduleRegistry:
         self._engines: dict[str, Engine] = {}
         self._graphs: dict[tuple[str, int], Graph] = {}
         self._fingerprints: dict[tuple[str, int], str] = {}
-        self._warned_legacy: set[Path] = set()
         self.stats = RegistryStats()
 
     # ----------------------------------------------------------------- helpers
@@ -413,11 +428,15 @@ class ScheduleRegistry:
         path.unlink(missing_ok=True)
 
     def _warn_if_legacy(self, key: RegistryKey, path: Path) -> None:
-        """Warn (once per file) when only a fingerprint-less entry exists.
+        """Warn (once per file per process) when only a fingerprint-less entry
+        exists.
 
         A legacy file may have been searched for a different graph than the
         one this registry serves today, so reusing it silently could replay a
         stale schedule; it is treated as a miss and left on disk untouched.
+        The warned-set is shared across registry instances — fleets create
+        one registry per worker over the same root, and each worker probing
+        the same stale file must not multiply the warning.
         """
         legacy_path = path.with_name(
             RegistryKey(key.model, key.batch_size, key.device, key.variant).filename()
@@ -425,8 +444,8 @@ class ScheduleRegistry:
         if not legacy_path.exists():
             return
         self.stats.legacy_entries += 1
-        if legacy_path not in self._warned_legacy:
-            self._warned_legacy.add(legacy_path)
+        if legacy_path not in _WARNED_LEGACY_PATHS:
+            _WARNED_LEGACY_PATHS.add(legacy_path)
             warnings.warn(
                 f"ignoring legacy schedule entry {legacy_path} (no graph "
                 f"fingerprint in its key; expected {key.fingerprint!r}): "

@@ -65,6 +65,80 @@ class TestRoundTrip:
         assert loaded.profile is compiled.profile
 
 
+class TestBlockRecords:
+    def test_block_records_round_trip(self, compiled, tmp_path):
+        assert compiled.blocks, "a searched compile must carry block records"
+        loaded = CompiledModel.load(compiled.save(tmp_path / "m.json"))
+        assert [r.as_dict() for r in loaded.blocks] == [
+            r.as_dict() for r in compiled.blocks
+        ]
+        assert all(record.digest for record in loaded.blocks)
+
+    def test_block_records_tile_the_schedule(self, compiled, tmp_path):
+        # start/count slices must cover the stage list exactly, in order —
+        # this is what makes splicing a prior schedule by record valid.
+        loaded = CompiledModel.load(compiled.save(tmp_path / "m.json"))
+        cursor = 0
+        for record in loaded.blocks:
+            assert record.start == cursor
+            cursor += record.count
+        assert cursor == len(loaded.schedule.stages)
+
+    def test_artifact_without_block_records_still_loads(self, compiled, tmp_path):
+        # Artifacts written before block records existed have no "blocks"
+        # key (the field was added without a version bump): they must load
+        # with an empty record list, not fail.
+        data = compiled.to_dict()
+        del data["blocks"]
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(data))
+        loaded = CompiledModel.load(path)
+        assert loaded.blocks == []
+        assert loaded.schedule == compiled.schedule
+        assert loaded.latency_ms() == pytest.approx(compiled.latency_ms())
+
+    def test_loaded_records_enable_incremental_recompiles(self, tmp_path, v100):
+        graph = _versioned_graph(head_kernel=1)
+        path = Engine(v100).compile(graph).save(tmp_path / "m.json")
+
+        warm = Engine(v100)
+        warm.load(path)
+        recompiled = warm.compile(_versioned_graph(head_kernel=3))
+        # Only the mutated head block is searched; the stem's stages splice
+        # straight out of the loaded artifact's records.
+        sources = {s.block_name: s.source for s in recompiled.search.block_stats}
+        assert sources["stem"] == "spliced"
+        assert sources["head"] != "spliced"
+        assert warm.stats.blocks_spliced == 1
+
+    def test_legacy_artifact_recompiles_without_splicing(self, tmp_path, v100):
+        graph = _versioned_graph(head_kernel=1)
+        data = Engine(v100).compile(graph).to_dict()
+        del data["blocks"]
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(data))
+
+        warm = Engine(v100)
+        warm.load(path)
+        recompiled = warm.compile(_versioned_graph(head_kernel=3))
+        assert warm.stats.blocks_spliced == 0
+        assert all(s.source != "spliced" for s in recompiled.search.block_stats)
+
+
+def _versioned_graph(head_kernel: int):
+    """Two-block graph whose head block can be dirtied independently."""
+    from repro.ir.graph import GraphBuilder
+    from repro.ir.tensor import TensorShape
+
+    builder = GraphBuilder("versioned", TensorShape(1, 8, 8, 8))
+    with builder.block("stem"):
+        a = builder.conv2d("stem_conv", builder.input_name, 8, 3)
+        builder.relu("stem_relu", a)
+    with builder.block("head"):
+        builder.conv2d("head_conv", "stem_relu", 8, head_kernel)
+    return builder.build()
+
+
 class TestEngineWarmStart:
     def test_engine_load_seeds_the_compile_cache(self, compiled, tmp_path, v100):
         path = compiled.save(tmp_path / "m.json")

@@ -1,0 +1,230 @@
+"""Schedule-equivalence harness for the fast compile paths.
+
+The compile-speed work (memoization, incremental recompilation, parallel
+block search, cost-model caching) is only admissible because every fast path
+produces *bit-identical* schedules to a plain serial DP search.  These
+property tests pin that invariant down:
+
+* memoized and block-cached searches match a from-scratch serial search on
+  every zoo model tested and on 50 seeded random DAGs;
+* the multiprocessing fan-out (``jobs > 1``) matches the serial path;
+* the engine's incremental recompilation re-searches only dirty blocks and
+  splices the rest, and the spliced result equals a cold compile of the
+  mutated graph;
+* the group decomposition the ending enumeration hands the cost model equals
+  ``connected_groups`` — the ordering contract the whole pricing path
+  relies on.
+
+Equality is checked at the bit level: stage operator tuples, strategies, and
+the ``repr`` of every per-block latency (``repr`` round-trips floats, so two
+equal reprs mean identical doubles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BlockIndex,
+    FlopsCostModel,
+    IOSScheduler,
+    PruningStrategy,
+    SchedulerConfig,
+    clear_schedule_memo,
+    connected_groups,
+    enumerate_endings,
+    groups_of_mask,
+)
+from repro.engine import Engine
+from repro.ir.graph import GraphBuilder
+from repro.ir.tensor import TensorShape
+from repro.models import build_model
+
+SEEDS = range(50)
+ZOO_MODELS = ["squeezenet", "resnet_18", "vgg_16"]
+
+
+def _cost_model():
+    return FlopsCostModel(flops_per_ms=1e9, overhead_ms=0.01)
+
+
+def _plain_scheduler():
+    """A scheduler with every reuse path off: the ground-truth serial search."""
+    return IOSScheduler(_cost_model(), SchedulerConfig(reuse_identical_blocks=False))
+
+
+def _fast_scheduler():
+    """A scheduler with the block cache and process-wide memo enabled."""
+    return IOSScheduler(_cost_model(), SchedulerConfig())
+
+
+def stage_signature(schedule):
+    """The byte-level identity of a schedule: operators + strategy per stage."""
+    return tuple((stage.operators, stage.strategy.value) for stage in schedule.stages)
+
+
+def latency_signature(result):
+    """Exact per-block DP optima; ``repr`` equality means identical doubles."""
+    return tuple(repr(stats.optimized_latency_ms) for stats in result.block_stats)
+
+
+def assert_results_identical(expected, actual):
+    assert stage_signature(actual.schedule) == stage_signature(expected.schedule)
+    assert latency_signature(actual) == latency_signature(expected)
+
+
+class TestMemoizedEqualsSerial:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_graphs(self, seed, random_graph_factory):
+        graph = random_graph_factory(seed)
+        plain = _plain_scheduler().optimize_graph(graph)
+
+        clear_schedule_memo()
+        warm = _fast_scheduler().optimize_graph(graph)
+        assert_results_identical(plain, warm)
+
+        # A *fresh* scheduler instance now hits the process-wide memo: no
+        # block may fall back to a search, and the result is still identical.
+        hit = _fast_scheduler().optimize_graph(graph)
+        assert_results_identical(plain, hit)
+        assert not any(
+            stats.source in ("search", "parallel") for stats in hit.block_stats
+        )
+
+    @pytest.mark.parametrize("model", ZOO_MODELS)
+    def test_zoo_models(self, model):
+        graph = build_model(model)
+        plain = _plain_scheduler().optimize_graph(graph)
+
+        clear_schedule_memo()
+        warm = _fast_scheduler().optimize_graph(graph)
+        assert_results_identical(plain, warm)
+
+        hit = _fast_scheduler().optimize_graph(graph)
+        assert_results_identical(plain, hit)
+        assert not any(
+            stats.source in ("search", "parallel") for stats in hit.block_stats
+        )
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_disabling_the_memo_changes_nothing_but_the_source(
+        self, seed, random_graph_factory, monkeypatch
+    ):
+        graph = random_graph_factory(seed)
+        _fast_scheduler().optimize_graph(graph)  # populate the memo
+
+        monkeypatch.setenv("REPRO_SCHEDULE_MEMO", "0")
+        cold = _fast_scheduler().optimize_graph(graph)
+        assert not any(stats.source == "memo" for stats in cold.block_stats)
+
+        monkeypatch.setenv("REPRO_SCHEDULE_MEMO", "1")
+        hot = _fast_scheduler().optimize_graph(graph)
+        assert_results_identical(cold, hot)
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs(self, seed, random_graph_factory):
+        graph = random_graph_factory(seed)
+        serial = _plain_scheduler().optimize_graph(graph, jobs=1)
+
+        clear_schedule_memo()
+        fanout = _fast_scheduler().optimize_graph(graph, jobs=2)
+        assert_results_identical(serial, fanout)
+
+    def test_zoo_model(self):
+        graph = build_model("squeezenet")
+        serial = _plain_scheduler().optimize_graph(graph, jobs=1)
+
+        clear_schedule_memo()
+        fanout = _fast_scheduler().optimize_graph(graph, jobs=2)
+        assert_results_identical(serial, fanout)
+
+
+def _two_block_graph(stem_kernel=3, head_kernel=1, name="incr-model"):
+    """Two explicit blocks; either block can be dirtied independently."""
+    builder = GraphBuilder(name, TensorShape(1, 8, 8, 8))
+    with builder.block("stem"):
+        a = builder.conv2d("stem_conv", builder.input_name, 8, stem_kernel)
+        b = builder.relu("stem_relu", a)
+    with builder.block("head"):
+        c = builder.conv2d("head_conv", b, 8, head_kernel)
+        d = builder.conv2d("head_conv2", b, 8, head_kernel)
+        builder.add("head_add", [c, d])
+    return builder.build()
+
+
+def _flops_engine():
+    return Engine("v100", scheduler=IOSScheduler(_cost_model(), SchedulerConfig()))
+
+
+class TestIncrementalRecompilation:
+    def test_only_the_dirty_block_is_researched(self):
+        engine = _flops_engine()
+        engine.compile(_two_block_graph(head_kernel=1))
+        searched_before = engine.stats.block_searches
+
+        clear_schedule_memo()  # force the dirty block to a real search
+        second = engine.compile(_two_block_graph(head_kernel=3))
+        assert engine.stats.blocks_spliced == 1
+        assert engine.stats.block_searches == searched_before + 1
+        sources = {s.block_name: s.source for s in second.search.block_stats}
+        assert sources["stem"] == "spliced"
+        assert sources["head"] in ("search", "parallel")
+
+    def test_upstream_mutation_still_splices_the_clean_downstream_block(self):
+        # The stem's kernel changes but its boundary shapes do not, so the
+        # head's digest is unchanged and its stages splice over verbatim.
+        engine = _flops_engine()
+        engine.compile(_two_block_graph(stem_kernel=3))
+
+        clear_schedule_memo()
+        second = engine.compile(_two_block_graph(stem_kernel=1))
+        sources = {s.block_name: s.source for s in second.search.block_stats}
+        assert sources["stem"] in ("search", "parallel")
+        assert sources["head"] == "spliced"
+
+    def test_incremental_compile_equals_a_cold_compile(self):
+        engine = _flops_engine()
+        engine.compile(_two_block_graph(head_kernel=1))
+        incremental = engine.compile(_two_block_graph(head_kernel=3))
+        assert engine.stats.blocks_spliced == 1
+
+        clear_schedule_memo()
+        cold = _flops_engine().compile(_two_block_graph(head_kernel=3))
+        assert stage_signature(incremental.schedule) == stage_signature(cold.schedule)
+        assert latency_signature(incremental.search) == latency_signature(cold.search)
+        assert repr(incremental.latency_ms()) == repr(cold.latency_ms())
+
+    @pytest.mark.parametrize("seed", [5, 23, 41])
+    def test_recompiling_an_identical_random_graph_splices_every_block(
+        self, seed, random_graph_factory
+    ):
+        engine = _flops_engine()
+        first = engine.compile(random_graph_factory(seed))
+        second = engine.compile(random_graph_factory(seed), use_cache=True)
+        if second is first:  # whole-model cache hit: also a valid fast path
+            assert engine.stats.cache_hits >= 1
+            return
+        assert all(s.source in ("spliced", "empty") for s in second.search.block_stats)
+        assert_results_identical(first.search, second.search)
+
+
+class TestGroupDecomposition:
+    """The DP's group masks must equal ``connected_groups`` exactly."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_enumerated_groups_match_connected_groups(self, seed, random_graph_factory):
+        graph = random_graph_factory(seed)
+        pruning = PruningStrategy(max_group_size=3, max_groups=8)
+        for block in graph.blocks:
+            names = graph.schedulable_names(block)
+            if not names:
+                continue
+            index = BlockIndex(graph, names)
+            for ending, group_masks in enumerate_endings(
+                index, index.full_mask, pruning
+            ):
+                expected = connected_groups(graph, index.names_of(ending))
+                assert [list(index.names_of(m)) for m in group_masks] == expected
+                assert group_masks == groups_of_mask(index, ending)

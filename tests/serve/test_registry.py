@@ -158,6 +158,31 @@ class TestFailureModes:
         assert legacy_path.exists()
         assert fresh.path_for(key).exists()
 
+    def test_legacy_warning_fires_once_across_instances(self, registry, tmp_path, v100):
+        # A fleet builds one registry per worker over the same root: the
+        # stale-file warning must fire once per process, not once per
+        # registry instance probing the same file.
+        registry.get("m", 1, v100)
+        key = registry.key("m", 1, v100)
+        legacy_path = tmp_path / "m" / RegistryKey("m", 1, "v100", "ios-both").filename()
+        registry.path_for(key).rename(legacy_path)
+
+        first = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        with pytest.warns(UserWarning, match="legacy schedule entry"):
+            first.get("m", 1, v100)
+        # Remove the fresh entry the first instance persisted so the second
+        # instance takes the same legacy-probing path.
+        first.path_for(key).unlink()
+
+        second = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            second.get("m", 1, v100)
+        # The probe still counts the stale file even though it stays quiet.
+        assert second.stats.legacy_entries == 1
+
     def test_legacy_warning_fires_once_per_file(self, registry, tmp_path, v100):
         registry.get("m", 1, v100)
         key = registry.key("m", 1, v100)
