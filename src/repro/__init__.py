@@ -20,13 +20,16 @@ The package is organised as:
   routing, simulated worker pool, synthetic traffic;
 * :mod:`repro.cluster` — multi-host serving: co-simulated hosts behind
   cluster routers, graph partitioning across memory-bound hosts, modeled
-  inter-host link transfers.
+  inter-host link transfers;
+* :mod:`repro.frontend` — model importers (ONNX-subset JSON, layer-config)
+  and :func:`repro.frontend.load`, the one API every model source — zoo
+  name, model file, parsed dict — goes through.
 
 Quick start::
 
-    from repro import Engine, build_model
+    from repro import Engine, load
 
-    compiled = Engine("v100").compile(build_model("inception_v3", batch_size=1))
+    compiled = Engine("v100").compile(load("inception_v3", batch_size=1))
     print(compiled.latency_ms())
 """
 
@@ -47,8 +50,9 @@ from .core import (
     sequential_schedule,
 )
 from .engine import CompiledModel, Engine, get_engine
+from .frontend import load
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "TensorShape",
@@ -58,6 +62,7 @@ __all__ = [
     "get_device",
     "list_devices",
     "build_model",
+    "load",
     "list_models",
     "BENCHMARK_MODELS",
     "Schedule",
@@ -95,7 +100,7 @@ def optimize(
     Parameters
     ----------
     graph:
-        The computation graph to schedule (see :func:`repro.models.build_model`).
+        The computation graph to schedule (see :func:`repro.frontend.load`).
     device:
         The simulated device to optimise for (see :func:`repro.hardware.get_device`).
     variant:

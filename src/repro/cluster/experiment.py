@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
-from ..models import build_model
+from ..frontend import load
 from ..obs.alerts import AlertManager, AlertRule, per_host_alert_rules
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import PrefixedTracer, Tracer
@@ -307,7 +307,7 @@ def run_cluster_serving(
             f"{serving.model!r}"
         )
     specs = cluster.host_specs()
-    base_graph = build_model(serving.model, 1)
+    base_graph = load(serving.model, batch_size=1)
     weight_bytes = base_graph.total_weight_bytes()
     input_bytes = base_graph.input_shape.with_batch(1).bytes()
 

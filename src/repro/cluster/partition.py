@@ -33,7 +33,7 @@ from typing import Callable, Sequence
 from ..ir.graph import Graph
 from ..ir.ops import Placeholder, operator_from_config
 from ..ir.validate import validate_graph
-from ..models import build_model
+from ..frontend import load
 
 __all__ = ["PartitionError", "StageSpec", "PartitionPlan", "partition_graph"]
 
@@ -72,7 +72,7 @@ class PartitionPlan:
     stages: tuple[StageSpec, ...]
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "_builder", build_model)
+        object.__setattr__(self, "_builder", load)
         object.__setattr__(self, "_cache", {})
 
     @property

@@ -5,10 +5,10 @@ baselines, lowering.  For the one-call compile path use the engine, which
 stages passes → search → lowering with caching and serializable artifacts::
 
     from repro.engine import Engine
-    from repro.models import build_model
+    from repro.frontend import load
 
     engine = Engine("v100")                       # device, variant, profile
-    compiled = engine.compile(build_model("inception_v3", batch_size=1))
+    compiled = engine.compile(load("inception_v3", batch_size=1))
     latency = compiled.latency_ms()
 
 Driving the primitives directly is still supported (and is what the engine

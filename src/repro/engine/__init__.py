@@ -18,15 +18,15 @@ pipeline::
   :class:`CompileStats`) with full-artifact ``save()``/``load()`` so warm
   starts perform **zero** scheduler searches;
 * :mod:`repro.engine.stages` — the individual stage helpers
-  (:func:`apply_passes` is also what ``build_model(optimize=True)`` runs).
+  (:func:`apply_passes` is also what ``load(..., optimize=True)`` runs).
 
 Quick start::
 
     from repro.engine import Engine
-    from repro.models import build_model
+    from repro.frontend import load
 
     engine = Engine("v100", passes=True)            # fix the environment once
-    compiled = engine.compile(build_model("inception_v3"))
+    compiled = engine.compile(load("inception_v3"))
     print(compiled.latency_ms(), compiled.throughput())
     print(compiled.stats.describe())                # per-stage timing
     compiled.save("inception.compiled.json")        # warm-start artifact

@@ -124,10 +124,10 @@ class Engine:
     Example::
 
         from repro.engine import Engine
-        from repro.models import build_model
+        from repro.frontend import load
 
         engine = Engine("v100", passes=True)
-        compiled = engine.compile(build_model("inception_v3"))
+        compiled = engine.compile(load("inception_v3"))
         print(compiled.latency_ms(), compiled.stats.describe())
         compiled.save("inception.compiled.json")   # warm-start artifact
     """
@@ -365,9 +365,9 @@ class Engine:
 
     def compile_model(self, name: str, batch_size: int = 1, **kwargs) -> CompiledModel:
         """Build a zoo model and compile it (convenience wrapper)."""
-        from ..models import build_model
+        from ..frontend import load
 
-        return self.compile(build_model(name, batch_size=batch_size, **kwargs))
+        return self.compile(load(name, batch_size=batch_size, **kwargs))
 
     # ------------------------------------------------------------ warm start
     def load(self, path: str | Path) -> CompiledModel:

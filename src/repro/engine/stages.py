@@ -6,8 +6,8 @@ The engine turns a graph into a running model in explicit stages::
           --[lower]--> ExecutionPlan
 
 Each helper here implements one stage as a plain function so the stages are
-individually reusable: :func:`repro.models.build_model` runs the pass stage on
-its own (``build_model(optimize=True)``), and :class:`repro.engine.Engine`
+individually reusable: :func:`repro.frontend.load` runs the pass stage on
+its own (``load(..., optimize=True)``), and :class:`repro.engine.Engine`
 chains all of them with per-stage timing.
 """
 

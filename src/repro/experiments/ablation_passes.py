@@ -25,7 +25,7 @@ from typing import Sequence
 
 from ..engine import get_engine
 from ..hardware.device import get_device
-from ..models import build_model
+from ..frontend import load
 from ..passes import default_pipeline, unfuse_activations
 from .tables import ExperimentTable
 
@@ -56,7 +56,7 @@ def run_pass_ablation(
         "per pass (rewrites applied and time spent, summed over iterations)",
     )
     for model in models:
-        raw = unfuse_activations(build_model(model, batch_size=batch_size, optimize=False))
+        raw = unfuse_activations(load(model, batch_size=batch_size, optimize=False))
         pass_result = default_pipeline().run(raw)
         variants = [
             ("raw", raw, 0, 0.0),

@@ -158,7 +158,9 @@ def serve_main(argv: list[str] | None = None) -> int:
         description="Serve synthetic traffic with batch-size-specialised IOS schedules "
         "on a pool of simulated devices (optionally a mixed-device fleet).",
     )
-    parser.add_argument("--model", default="inception_v3", help="model to serve")
+    parser.add_argument("--model", default="inception_v3",
+                        help="model to serve: a zoo name or a model-file path "
+                             "(anything repro.frontend.load accepts)")
     parser.add_argument("--device", default=None,
                         help="device preset for a homogeneous pool (default: v100; "
                         "conflicts with --fleet)")

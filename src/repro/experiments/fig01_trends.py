@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..hardware.device import get_device
 from ..ir.flops import conv_statistics
-from ..models import build_model
+from ..frontend import load
 from .tables import ExperimentTable
 
 __all__ = ["run_figure1", "TREND_POINTS"]
@@ -45,7 +45,7 @@ def run_figure1(points=None) -> ExperimentTable:
         ),
     )
     for year, model_name, device_name in points:
-        graph = build_model(model_name, batch_size=1)
+        graph = load(model_name, batch_size=1)
         stats = conv_statistics(graph)
         device = get_device(device_name)
         peak_gflops = device.peak_fp32_tflops * 1e3

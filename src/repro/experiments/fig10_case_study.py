@@ -15,7 +15,7 @@ from ..core.schedule import ParallelizationStrategy, Schedule
 from ..engine import get_engine
 from ..hardware.device import DeviceSpec, get_device
 from ..ir.graph import Graph
-from ..models import build_model
+from ..frontend import load
 from .tables import ExperimentTable
 
 __all__ = ["run_figure10", "last_block_subgraph"]
@@ -27,7 +27,7 @@ def last_block_subgraph(batch_size: int, block_name: str = "mixed_7c") -> Graph:
     The block's external input (the previous block's concat output) becomes the
     graph input, so the block can be optimised and executed in isolation.
     """
-    full = build_model("inception_v3", batch_size=batch_size)
+    full = load("inception_v3", batch_size=batch_size)
     block = next(b for b in full.blocks if b.name == block_name)
     op_names = full.schedulable_names(block)
     name_set = set(op_names)

@@ -25,7 +25,7 @@ from ..engine import Engine, get_engine
 from ..hardware.device import DeviceSpec, get_device
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.graph import Graph
-from ..models import build_model
+from ..frontend import load
 
 __all__ = ["ScheduleRun", "ExperimentContext", "SCHEDULE_LABELS", "default_context"]
 
@@ -62,7 +62,7 @@ class ExperimentContext:
     def graph(self, model: str, batch_size: int = 1) -> Graph:
         key = (model, batch_size)
         if key not in self._graphs:
-            self._graphs[key] = build_model(model, batch_size=batch_size)
+            self._graphs[key] = load(model, batch_size=batch_size)
         return self._graphs[key]
 
     # ---------------------------------------------------------------- engines

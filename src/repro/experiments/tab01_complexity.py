@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.complexity import block_complexity
-from ..models import BENCHMARK_MODELS, build_model
+from ..frontend import load
+from ..models import BENCHMARK_MODELS
 from .tables import ExperimentTable
 
 __all__ = ["run_table1", "PAPER_TABLE1"]
@@ -54,7 +55,7 @@ def run_table1(models: Sequence[str] | None = None, count_schedule_space: bool =
         ),
     )
     for model_name in models:
-        graph = build_model(model_name, batch_size=1)
+        graph = load(model_name, batch_size=1)
         complexity = block_complexity(graph, count_schedule_space=count_schedule_space)
         paper = PAPER_TABLE1.get(model_name, {})
         table.add_row(

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..models import BENCHMARK_MODELS, MODEL_REGISTRY, build_model
+from ..frontend import load
+from ..models import BENCHMARK_MODELS, MODEL_REGISTRY
 from .tables import ExperimentTable
 
 __all__ = ["run_table2"]
@@ -33,7 +34,7 @@ def run_table2(models: Sequence[str] | None = None) -> ExperimentTable:
         ],
     )
     for model_name in models:
-        graph = build_model(model_name, batch_size=1)
+        graph = load(model_name, batch_size=1)
         spec = MODEL_REGISTRY[model_name]
         multi_op_blocks = [b for b in graph.blocks if len(graph.schedulable_names(b)) > 0]
         table.add_row(

@@ -14,7 +14,7 @@ from typing import Sequence
 
 from ..core.specialization import specialize_for_batch_sizes, specialize_for_devices
 from ..hardware.device import DeviceSpec, get_device
-from ..models import build_model
+from ..frontend import load
 from .tables import ExperimentTable
 
 __all__ = ["run_table3_batch", "run_table3_device"]
@@ -27,7 +27,7 @@ def run_table3_batch(
 ) -> ExperimentTable:
     """Table 3 (1): cross-execution of schedules specialised per batch size."""
     spec = device if isinstance(device, DeviceSpec) else get_device(device)
-    graph = build_model(model, batch_size=batch_sizes[0])
+    graph = load(model, batch_size=batch_sizes[0])
     _, matrix = specialize_for_batch_sizes(graph, batch_sizes, spec)
 
     table = ExperimentTable(
@@ -54,7 +54,7 @@ def run_table3_device(
 ) -> ExperimentTable:
     """Table 3 (2): cross-execution of schedules specialised per device."""
     specs = [get_device(name) for name in devices]
-    graph = build_model(model, batch_size=batch_size)
+    graph = load(model, batch_size=batch_size)
     _, matrix = specialize_for_devices(graph, specs)
 
     table = ExperimentTable(

@@ -1,0 +1,48 @@
+"""repro.frontend — importers that turn external model descriptions into IR.
+
+Until this package existed every graph the system compiled was hand-built by
+the internal model zoo; the frontend closes the loop with the outside world.
+Two on-disk formats are understood:
+
+* an **ONNX-subset JSON** format — nodes with ONNX-style ``op_type`` tags,
+  named graph inputs and initializer (weight) metadata — imported by
+  :func:`import_onnx` through a per-op-kind *bridge* registry
+  (:data:`ONNX_BRIDGES`, extensible via :func:`register_onnx_bridge`);
+* a **layer-config** format — an ordered list of torchvision-style layer
+  dictionaries — imported by :func:`import_layer_config`.
+
+Both importers perform shape inference while building (every operator is
+bound as it is added) and validate the result with
+:func:`repro.ir.validate_graph` before returning, so an imported graph is
+indistinguishable from a zoo-built one.  Foreign nodes with an ``op_type`` no
+bridge understands degrade to :class:`repro.ir.Opaque` profiled nodes instead
+of failing the import.
+
+:func:`load` is the one model-source API the rest of the system goes
+through: it accepts a zoo model name, a path to either JSON format, or an
+already-parsed dictionary, and always returns the same validated
+:class:`~repro.ir.Graph`.
+"""
+
+from .onnx_bridge import (
+    ONNX_BRIDGES,
+    FrontendError,
+    ImportContext,
+    ForeignNode,
+    import_onnx,
+    register_onnx_bridge,
+)
+from .layer_config import import_layer_config
+from .loader import detect_format, load
+
+__all__ = [
+    "FrontendError",
+    "ForeignNode",
+    "ImportContext",
+    "ONNX_BRIDGES",
+    "register_onnx_bridge",
+    "import_onnx",
+    "import_layer_config",
+    "detect_format",
+    "load",
+]

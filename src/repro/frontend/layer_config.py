@@ -1,0 +1,87 @@
+"""Torchvision-style layer-config importer.
+
+The format is a JSON dictionary describing a sequential stack of layers, the
+way torchvision configuration tables describe VGG/AlexNet-style networks::
+
+    {
+      "format": "layer-config",
+      "name": "tiny_vgg",
+      "input": [1, 3, 32, 32],
+      "layers": [
+        {"type": "conv2d", "out_channels": 32, "kernel": 3, "activation": "relu"},
+        {"type": "pool2d", "pool_type": "max", "kernel": 2},
+        {"type": "flatten"},
+        {"type": "linear", "out_features": 10}
+      ]
+    }
+
+Every layer dictionary is translated to an operator config and materialised
+through :func:`repro.ir.operator_from_config` — the operator registry is the
+single source of truth for which ``type`` tags exist, so operators registered
+at runtime with :func:`repro.ir.register_operator` work here unchanged, and a
+typo'd type fails with the registry's known-kinds + nearest-name message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..ir.graph import Graph
+from ..ir.ops import Placeholder, operator_from_config
+from ..ir.tensor import TensorShape
+from ..ir.validate import validate_graph
+from .onnx_bridge import FrontendError
+
+__all__ = ["import_layer_config"]
+
+#: Convenience aliases accepted in the ``type`` field on top of the registry
+#: kinds themselves.
+_TYPE_ALIASES = {
+    "conv": "conv2d",
+    "sepconv": "sep_conv2d",
+    "pool": "pool2d",
+    "maxpool": "pool2d",
+    "avgpool": "pool2d",
+    "globalpool": "global_avg_pool",
+    "fc": "linear",
+    "dense": "linear",
+    "layernorm": "layer_norm",
+}
+
+_POOL_DEFAULTS = {"maxpool": "max", "avgpool": "avg"}
+
+
+def import_layer_config(data: dict[str, Any], name: str | None = None) -> Graph:
+    """Import a sequential layer-config dictionary into a validated IR graph."""
+    dims = [int(d) for d in data.get("input", [])]
+    if len(dims) not in (2, 4):
+        raise FrontendError(
+            f"layer-config 'input' must be 2-D or 4-D, got {dims or 'nothing'}"
+        )
+    layers = data.get("layers", [])
+    if not layers:
+        raise FrontendError("layer-config contains no layers")
+
+    graph = Graph(str(name or data.get("name", "imported")))
+    graph.add_node(Placeholder("input", TensorShape(*dims)))
+    block = graph.add_block("layers")
+
+    previous = "input"
+    for index, layer in enumerate(layers):
+        attrs = dict(layer)
+        raw_type = str(attrs.pop("type", ""))
+        if not raw_type:
+            raise FrontendError(f"layer {index} is missing its 'type' field")
+        kind = _TYPE_ALIASES.get(raw_type, raw_type)
+        if raw_type in _POOL_DEFAULTS:
+            attrs.setdefault("pool_type", _POOL_DEFAULTS[raw_type])
+        node_name = str(attrs.pop("name", f"l{index}_{kind}"))
+        config = {"kind": kind, "name": node_name, "inputs": [previous], "attrs": attrs}
+        try:
+            graph.add_node(operator_from_config(config), block)
+        except (ValueError, KeyError) as exc:
+            raise FrontendError(f"cannot import layer {index} ({raw_type}): {exc}") from exc
+        previous = node_name
+
+    validate_graph(graph)
+    return graph

@@ -29,13 +29,17 @@ from ..ir.ops import (
     Add,
     Concat,
     Conv2d,
+    Gelu,
     GlobalAvgPool,
+    LayerNorm,
     Linear,
+    Matmul,
     Operator,
     Pool2d,
     Relu,
     SeparableConv2d,
     Softmax,
+    Transpose,
 )
 from .device import DeviceSpec
 
@@ -104,6 +108,9 @@ CUDNN_PROFILE = KernelProfile(
         "add": 0.90,
         "concat": 0.90,
         "softmax": 0.60,
+        "layer_norm": 0.70,
+        "gelu": 0.85,
+        "transpose": 0.80,
     },
     default_efficiency=0.60,
 )
@@ -123,6 +130,9 @@ TVM_AUTOTUNE_PROFILE = KernelProfile(
         "add": 0.90,
         "concat": 0.90,
         "softmax": 0.60,
+        "layer_norm": 0.75,
+        "gelu": 0.85,
+        "transpose": 0.80,
     },
     default_efficiency=0.60,
 )
@@ -141,6 +151,9 @@ TENSORRT_PROFILE = KernelProfile(
         "add": 0.92,
         "concat": 0.92,
         "softmax": 0.65,
+        "layer_norm": 0.80,
+        "gelu": 0.90,
+        "transpose": 0.85,
     },
     default_efficiency=0.65,
     launch_overhead_scale=0.8,
@@ -239,10 +252,13 @@ def _elementwise_blocks(op: Operator) -> int:
     return max(1, math.ceil(op.output_shape.numel() / ELEMENTWISE_TILE))
 
 
-def _matmul_blocks(op: Linear) -> int:
-    assert op.output_shape is not None
-    feature_tiles = math.ceil(op.out_features / MATMUL_TILE_FEATURES)
-    row_tiles = math.ceil(op.output_shape.batch / MATMUL_TILE_ROWS)
+def _matmul_blocks(op: Linear | Matmul) -> int:
+    # Output channels == out_features for the weighted (projection) forms and
+    # the trailing matrix dimension for batched activation-activation matmuls.
+    out = op.output_shape
+    assert out is not None
+    feature_tiles = math.ceil(out.channels / MATMUL_TILE_FEATURES)
+    row_tiles = math.ceil(out.batch / MATMUL_TILE_ROWS)
     return max(1, feature_tiles * row_tiles)
 
 
@@ -263,11 +279,16 @@ def build_kernel(
 
     if isinstance(op, (Conv2d, SeparableConv2d)):
         num_blocks = _conv_blocks(op)
-    elif isinstance(op, Linear):
+    elif isinstance(op, (Linear, Matmul)):
         num_blocks = _matmul_blocks(op)
-    elif isinstance(op, (Pool2d, GlobalAvgPool, Relu, Add, Concat, Softmax)):
+    elif isinstance(
+        op, (Pool2d, GlobalAvgPool, Relu, Gelu, LayerNorm, Transpose, Add, Concat, Softmax)
+    ):
         num_blocks = _elementwise_blocks(op)
     else:
+        # Unknown operator types (including imported Opaque nodes) fall back
+        # to the memory-bound elementwise geometry; their efficiency comes
+        # from the profile's default_efficiency.
         num_blocks = _elementwise_blocks(op)
 
     return KernelSpec(

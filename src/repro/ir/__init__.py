@@ -8,22 +8,29 @@ stored because scheduling decisions depend only on shapes.
 
 from .tensor import FLOAT32_BYTES, TensorShape
 from .ops import (
+    OP_REGISTRY,
     Add,
     Concat,
     Conv2d,
     Flatten,
+    Gelu,
     GlobalAvgPool,
     Identity,
+    LayerNorm,
     Linear,
     Matmul,
+    Opaque,
     Operator,
     Placeholder,
     Pool2d,
     Relu,
+    Reshape,
     SeparableConv2d,
     Softmax,
     Split,
+    Transpose,
     operator_from_config,
+    register_operator,
 )
 from .graph import Block, Graph, GraphBuilder
 from .validate import GraphValidationError, validate_graph
@@ -58,7 +65,14 @@ __all__ = [
     "Linear",
     "Matmul",
     "Softmax",
+    "LayerNorm",
+    "Gelu",
+    "Transpose",
+    "Reshape",
+    "Opaque",
+    "OP_REGISTRY",
     "operator_from_config",
+    "register_operator",
     "Block",
     "Graph",
     "GraphBuilder",

@@ -21,17 +21,21 @@ from .ops import (
     Concat,
     Conv2d,
     Flatten,
+    Gelu,
     GlobalAvgPool,
     Identity,
+    LayerNorm,
     Linear,
     Matmul,
     Operator,
     Placeholder,
     Pool2d,
     Relu,
+    Reshape,
     SeparableConv2d,
     Softmax,
     Split,
+    Transpose,
 )
 from .tensor import TensorShape
 
@@ -424,8 +428,30 @@ class GraphBuilder:
     def linear(self, name: str, x: str, out_features: int, activation: str | None = None) -> str:
         return self._add(Linear(name, [x], out_features, activation))
 
-    def matmul(self, name: str, x: str, out_features: int) -> str:
-        return self._add(Matmul(name, [x], out_features))
+    def matmul(
+        self,
+        name: str,
+        x: str | Sequence[str],
+        out_features: int | None = None,
+        activation: str | None = None,
+    ) -> str:
+        """Weighted projection (``x, out_features``) or, when ``x`` is a pair
+        of node names and ``out_features`` is omitted, a weightless batched
+        matmul of two activation matrices."""
+        inputs = [x] if isinstance(x, str) else list(x)
+        return self._add(Matmul(name, inputs, out_features, activation))
+
+    def layer_norm(self, name: str, x: str, epsilon: float = 1e-5) -> str:
+        return self._add(LayerNorm(name, [x], epsilon))
+
+    def gelu(self, name: str, x: str) -> str:
+        return self._add(Gelu(name, [x]))
+
+    def transpose(self, name: str, x: str) -> str:
+        return self._add(Transpose(name, [x]))
+
+    def reshape(self, name: str, x: str, dims: Sequence[int]) -> str:
+        return self._add(Reshape(name, [x], dims))
 
     def softmax(self, name: str, x: str) -> str:
         return self._add(Softmax(name, [x]))

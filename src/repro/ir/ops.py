@@ -45,6 +45,11 @@ __all__ = [
     "Linear",
     "Matmul",
     "Softmax",
+    "LayerNorm",
+    "Gelu",
+    "Transpose",
+    "Reshape",
+    "Opaque",
     "OP_REGISTRY",
     "register_operator",
     "operator_from_config",
@@ -612,10 +617,108 @@ class Linear(Operator):
         return {"out_features": self.out_features, "activation": self.activation}
 
 
-class Matmul(Linear):
-    """Alias of :class:`Linear` used to mirror the paper's Figure 3 example."""
+class Matmul(Operator):
+    """Matrix multiplication, in two forms.
+
+    *Projection form* (one input, ``out_features`` set): a weighted dense
+    layer, exactly the :class:`Linear` semantics — the historical meaning of
+    this operator, used by the paper's Figure 3 example.
+
+    *Batched form* (two inputs, ``out_features`` unset): a weightless product
+    of two activation matrices ``(n, k) @ (k, m) -> (n, m)``, as produced by
+    attention blocks (``Q @ K^T``, ``scores @ V``).  Until this class became a
+    first-class operator it subclassed :class:`Linear`, which priced phantom
+    weights (``in*out + out`` parameters that do not exist) into the memory
+    model and mis-stated FLOPs for activation-activation products.
+    """
 
     kind = "matmul"
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        out_features: int | None = None,
+        activation: str | None = None,
+        weight_id: str | None = None,
+    ):
+        super().__init__(name, inputs)
+        if out_features is not None and out_features <= 0:
+            raise ValueError(f"out_features must be positive, got {out_features}")
+        self.out_features = None if out_features is None else int(out_features)
+        self.activation = activation
+        # Identity of the learned weight matrix (the importer records the
+        # foreign initializer name here).  Two projections with the same
+        # weight_id provably share weights, which is what licenses CSE to
+        # merge them — equal shapes alone never would.
+        self.weight_id = None if weight_id is None else str(weight_id)
+
+    @property
+    def is_projection(self) -> bool:
+        """Whether this matmul carries learned weights (Linear semantics)."""
+        return self.out_features is not None
+
+    def infer_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        if self.is_projection:
+            if len(input_shapes) != 1:
+                raise ValueError(
+                    f"Matmul {self.name} with out_features expects exactly one input"
+                )
+            x = input_shapes[0].flattened()
+            return TensorShape(x.batch, self.out_features)
+        if len(input_shapes) != 2:
+            raise ValueError(
+                f"Matmul {self.name} without out_features expects exactly two "
+                f"inputs (got {len(input_shapes)})"
+            )
+        a, b = input_shapes
+        if a.is_spatial or b.is_spatial:
+            raise ValueError(
+                f"Matmul {self.name} requires 2-D operands, got {a} @ {b}"
+            )
+        if a.channels != b.batch:
+            raise ValueError(
+                f"Matmul {self.name}: inner dimensions do not agree ({a} @ {b})"
+            )
+        return TensorShape(a.batch, b.channels)
+
+    @property
+    def in_features(self) -> int:
+        shapes = self._require_bound()
+        return shapes[0].flattened().channels
+
+    def flops(self) -> int:
+        shapes = self._require_bound()
+        assert self.output_shape is not None
+        out = self.output_shape
+        if self.is_projection:
+            x = shapes[0].flattened()
+            total = 2 * x.batch * x.channels * self.out_features
+        else:
+            a = shapes[0]
+            total = 2 * a.batch * a.channels * out.channels
+        if self.activation is not None:
+            total += out.numel()
+        return total
+
+    def weight_count(self) -> int:
+        self._require_bound()
+        if not self.is_projection:
+            return 0
+        return self.in_features * self.out_features + self.out_features
+
+    def merge_key(self) -> tuple[Any, ...] | None:
+        # Matmuls never participate in the operator-merge strategy: the
+        # batched form has no weight matrix to stack, and stacking projection
+        # weights is handled by Linear.
+        return None
+
+    def attrs(self) -> dict[str, Any]:
+        return {
+            "out_features": self.out_features,
+            "activation": self.activation,
+            "weight_id": self.weight_id,
+        }
 
 
 class Softmax(Operator):
@@ -631,6 +734,171 @@ class Softmax(Operator):
     def flops(self) -> int:
         shapes = self._require_bound()
         return 5 * shapes[0].numel()
+
+
+# --------------------------------------------------------------------------- #
+# Transformer operator family                                                  #
+# --------------------------------------------------------------------------- #
+class LayerNorm(Operator):
+    """Layer normalisation over the feature dimension (gain + bias learned)."""
+
+    kind = "layer_norm"
+
+    def __init__(self, name: str, inputs: Sequence[str], epsilon: float = 1e-5):
+        super().__init__(name, inputs)
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def infer_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        if len(input_shapes) != 1:
+            raise ValueError(f"LayerNorm {self.name} expects exactly one input")
+        return input_shapes[0]
+
+    def flops(self) -> int:
+        # mean + variance (two reduction sweeps), normalise, scale and shift.
+        shapes = self._require_bound()
+        return 8 * shapes[0].numel()
+
+    def weight_count(self) -> int:
+        shapes = self._require_bound()
+        return 2 * shapes[0].channels
+
+    def attrs(self) -> dict[str, Any]:
+        return {"epsilon": self.epsilon}
+
+
+class Gelu(Operator):
+    """Stand-alone GELU activation (tanh approximation cost model)."""
+
+    kind = "gelu"
+
+    def infer_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        if len(input_shapes) != 1:
+            raise ValueError(f"Gelu {self.name} expects exactly one input")
+        return input_shapes[0]
+
+    def flops(self) -> int:
+        shapes = self._require_bound()
+        return 8 * shapes[0].numel()
+
+
+class Transpose(Operator):
+    """Swap the two trailing logical axes.
+
+    For a 2-D matrix ``(n, k)`` this is the ordinary transpose ``(k, n)``
+    (attention uses it to form ``K^T``); for a 4-D feature map it swaps the
+    spatial axes.  Modelled as one element copied per element moved.
+    """
+
+    kind = "transpose"
+
+    def infer_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        if len(input_shapes) != 1:
+            raise ValueError(f"Transpose {self.name} expects exactly one input")
+        x = input_shapes[0]
+        if x.is_spatial:
+            return TensorShape(x.batch, x.channels, x.width, x.height)
+        return TensorShape(x.channels, x.batch)
+
+    def flops(self) -> int:
+        shapes = self._require_bound()
+        return shapes[0].numel()
+
+
+class Reshape(Operator):
+    """Reinterpret a tensor's trailing dimensions, preserving the batch axis.
+
+    ``dims`` gives the target non-batch dimensions: ``[channels]`` for a 2-D
+    result or ``[channels, height, width]`` for a 4-D one.  Keeping the batch
+    axis implicit means the element-count check keeps holding when the graph
+    is re-batched via :meth:`Graph.with_batch_size`.  A reshape is a metadata
+    operation: it launches no kernel.
+    """
+
+    kind = "reshape"
+    launches_kernel = False
+
+    def __init__(self, name: str, inputs: Sequence[str], dims: Sequence[int]):
+        super().__init__(name, inputs)
+        self.dims = tuple(int(d) for d in dims)
+        if len(self.dims) not in (1, 3):
+            raise ValueError(
+                f"Reshape {name} dims must be [channels] or [channels, h, w], "
+                f"got {list(self.dims)}"
+            )
+        if any(d <= 0 for d in self.dims):
+            raise ValueError(f"Reshape {name} dims must be positive, got {list(self.dims)}")
+
+    def infer_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        if len(input_shapes) != 1:
+            raise ValueError(f"Reshape {self.name} expects exactly one input")
+        x = input_shapes[0]
+        target = TensorShape(x.batch, *self.dims)
+        if target.numel() != x.numel():
+            raise ValueError(
+                f"Reshape {self.name}: cannot view {x} as {target} "
+                "(element counts differ)"
+            )
+        return target
+
+    def attrs(self) -> dict[str, Any]:
+        return {"dims": list(self.dims)}
+
+
+class Opaque(Operator):
+    """A foreign operator the importer could not map to a native kind.
+
+    Rather than rejecting a model that contains one unsupported node, the
+    frontend degrades it to this opaque placeholder: the declared output
+    shape is trusted (re-batched from the first input so
+    :meth:`Graph.with_batch_size` still works), the latency comes from the
+    kernel profile table's default-efficiency path, and ``digest`` — a hash of
+    the foreign node's original attributes — keeps the schedule memo and graph
+    fingerprint distinct between opaque nodes that merely share an ``op_type``.
+    """
+
+    kind = "opaque"
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        op_type: str,
+        shape: str,
+        digest: str = "",
+        flops: int | None = None,
+    ):
+        super().__init__(name, inputs)
+        if not op_type:
+            raise ValueError("opaque operator requires the foreign op_type tag")
+        self.op_type = str(op_type)
+        self.declared_shape = TensorShape.parse(shape)
+        self.digest = str(digest)
+        self.declared_flops = None if flops is None else int(flops)
+
+    def infer_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        if not input_shapes:
+            raise ValueError(f"Opaque {self.name} expects at least one input")
+        return self.declared_shape.with_batch(input_shapes[0].batch)
+
+    def flops(self) -> int:
+        shapes = self._require_bound()
+        assert self.output_shape is not None
+        if self.declared_flops is not None:
+            # Declared cost is per-sample; scale with the bound batch size.
+            scale = self.output_shape.batch / self.declared_shape.batch
+            return int(self.declared_flops * scale)
+        # Unknown compute: assume one pass over every element touched.
+        return sum(s.numel() for s in shapes) + self.output_shape.numel()
+
+    def attrs(self) -> dict[str, Any]:
+        return {
+            "op_type": self.op_type,
+            "shape": str(self.declared_shape),
+            "digest": self.digest,
+            "flops": self.declared_flops,
+        }
 
 
 # --------------------------------------------------------------------------- #
@@ -662,6 +930,11 @@ for _cls in (
     Linear,
     Matmul,
     Softmax,
+    LayerNorm,
+    Gelu,
+    Transpose,
+    Reshape,
+    Opaque,
 ):
     register_operator(_cls)
 
@@ -679,10 +952,14 @@ def operator_from_config(config: dict[str, Any]) -> Operator:
     """
     kind = config["kind"]
     if kind not in OP_REGISTRY:
+        import difflib
+
+        close = difflib.get_close_matches(str(kind), sorted(OP_REGISTRY), n=1)
+        hint = f" Did you mean {close[0]!r}?" if close else ""
         raise KeyError(
             f"unknown operator kind {kind!r}; known kinds: "
-            f"{', '.join(sorted(OP_REGISTRY))}. Custom operators must be "
-            "registered with repro.ir.ops.register_operator before "
+            f"{', '.join(sorted(OP_REGISTRY))}.{hint} Custom operators must be "
+            "registered with repro.ir.register_operator before "
             "deserialisation."
         )
     cls = OP_REGISTRY[kind]

@@ -1,9 +1,11 @@
-"""CNN model zoo.
+"""Model zoo.
 
 Importing this package registers every model with the registry in
-``repro.models.common`` so that :func:`build_model` can instantiate any of them
-by name.  The four networks benchmarked by the paper (Table 2) are Inception
-V3, RandWire, NasNet-A and SqueezeNet (``BENCHMARK_MODELS``).
+``repro.models.common`` so that :func:`repro.frontend.load` can instantiate
+any of them by name.  The four networks benchmarked by the paper (Table 2)
+are Inception V3, RandWire, NasNet-A and SqueezeNet (``BENCHMARK_MODELS``);
+``transformer_block`` is built through the ONNX-subset importer rather than
+hand-assembled.
 """
 
 from .common import (
@@ -11,9 +13,11 @@ from .common import (
     MODEL_REGISTRY,
     ModelSpec,
     build_model,
+    default_optimize,
     list_models,
     model_specs,
     register_model,
+    resolve_zoo_builder,
     set_default_optimize,
 )
 from .toy import (
@@ -29,6 +33,7 @@ from .squeezenet import squeezenet
 from .randwire import randwire
 from .nasnet import nasnet_a
 from .resnet import resnet_18, resnet_34, resnet_50
+from .transformer import transformer_block, transformer_block_source
 from .vgg import alexnet, vgg_16
 
 __all__ = [
@@ -36,9 +41,11 @@ __all__ = [
     "MODEL_REGISTRY",
     "ModelSpec",
     "build_model",
+    "default_optimize",
     "list_models",
     "model_specs",
     "register_model",
+    "resolve_zoo_builder",
     "set_default_optimize",
     "figure2_block",
     "figure3_graph",
@@ -54,6 +61,8 @@ __all__ = [
     "resnet_18",
     "resnet_34",
     "resnet_50",
+    "transformer_block",
+    "transformer_block_source",
     "vgg_16",
     "alexnet",
 ]

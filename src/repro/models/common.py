@@ -7,6 +7,7 @@ by name so experiments and the CLI can instantiate networks uniformly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -17,9 +18,11 @@ __all__ = [
     "ModelSpec",
     "MODEL_REGISTRY",
     "register_model",
+    "resolve_zoo_builder",
     "build_model",
     "list_models",
     "set_default_optimize",
+    "default_optimize",
     "BENCHMARK_MODELS",
 ]
 
@@ -69,41 +72,57 @@ def set_default_optimize(enabled: bool) -> bool:
     return previous
 
 
+def default_optimize() -> bool:
+    """The process-wide default for the loader's pass pipeline."""
+    return _DEFAULT_OPTIMIZE
+
+
+_MODEL_ALIASES = {
+    "inceptionv3": "inception_v3",
+    "inception": "inception_v3",
+    "nasnet": "nasnet_a",
+    "nasneta": "nasnet_a",
+    "randwire_small": "randwire",
+    "resnet50": "resnet_50",
+    "resnet34": "resnet_34",
+    "resnet18": "resnet_18",
+    "vgg16": "vgg_16",
+}
+
+
+def resolve_zoo_builder(name: str) -> ModelBuilder:
+    """Resolve a (possibly aliased) zoo model name to its builder function.
+
+    Raises
+    ------
+    KeyError
+        If no registered model matches; the message lists every known name.
+    """
+    key = name.lower().replace("-", "_").replace(" ", "_")
+    key = _MODEL_ALIASES.get(key, key)
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key].builder
+
+
 def build_model(
     name: str, batch_size: int = 1, optimize: bool | None = None, **kwargs
 ) -> Graph:
-    """Instantiate a registered model at the given batch size.
+    """Deprecated: use :func:`repro.frontend.load` instead.
 
-    ``optimize=True`` runs the engine's pass stage
-    (:func:`repro.engine.stages.apply_passes`, i.e. the default
-    :mod:`repro.passes` pipeline — fingerprint-cached, so repeated builds are
-    cheap) on the built graph: a graph built here is bit-identical to what an
-    ``Engine(passes=True)`` would compile.  ``None`` defers to the
-    process-wide default set by :func:`set_default_optimize`.
+    Historical zoo-only entry point.  :func:`repro.frontend.load` accepts the
+    same model names (plus paths and parsed model dictionaries) with the same
+    ``batch_size``/``optimize`` semantics; this shim simply delegates.
     """
-    key = name.lower().replace("-", "_").replace(" ", "_")
-    aliases = {
-        "inceptionv3": "inception_v3",
-        "inception": "inception_v3",
-        "nasnet": "nasnet_a",
-        "nasneta": "nasnet_a",
-        "randwire_small": "randwire",
-        "resnet50": "resnet_50",
-        "resnet34": "resnet_34",
-        "resnet18": "resnet_18",
-        "vgg16": "vgg_16",
-    }
-    key = aliases.get(key, key)
-    if key not in MODEL_REGISTRY:
-        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
-    graph = MODEL_REGISTRY[key].builder(batch_size=batch_size, **kwargs)
-    if optimize is None:
-        optimize = _DEFAULT_OPTIMIZE
-    if optimize:
-        from ..engine.stages import apply_passes
+    warnings.warn(
+        "build_model() is deprecated; use repro.frontend.load(source), which "
+        "accepts zoo names, model-file paths and parsed model dictionaries",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..frontend.loader import load
 
-        graph, _ = apply_passes(graph, True)
-    return graph
+    return load(name, batch_size=batch_size, optimize=optimize, **kwargs)
 
 
 def list_models() -> list[str]:

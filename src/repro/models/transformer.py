@@ -1,0 +1,160 @@
+"""Transformer encoder block, defined as an ONNX-subset document.
+
+Unlike the CNN zoo entries, this model is *not* hand-assembled with
+:class:`~repro.ir.graph.GraphBuilder`: :func:`transformer_block_source`
+produces the ONNX-subset JSON document (the same format as
+``examples/transformer_block.json``) and :func:`transformer_block` feeds it
+through :func:`repro.frontend.import_onnx`.  The zoo name and the example
+file therefore exercise exactly the same importer path — bridges, shape
+inference, validation — so a schedule compiled for one is servable for the
+other.
+
+Sequences are modelled *seq-as-batch*: the 2-D activations are
+``(batch_size * seq_len, hidden)`` token-row matrices, attention scores are
+``(rows, rows)``, and multi-head attention slices the hidden axis with
+``split``/``concat``.  The per-head score/context matmuls are mutually
+independent, which is precisely the inter-operator parallelism the IOS
+scheduler exploits; the defaults keep each block small enough for the DP
+search to stay fast.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from .common import ModelSpec, register_model
+
+__all__ = ["transformer_block", "transformer_block_source"]
+
+
+def transformer_block_source(
+    batch_size: int = 1,
+    seq_len: int = 64,
+    hidden: int = 256,
+    heads: int = 2,
+    ffn_dim: int | None = None,
+) -> dict:
+    """The ONNX-subset document for one pre-LN-free encoder block.
+
+    Structure: Q/K/V projections, per-head scaled-dot-product attention
+    (transpose → matmul → softmax → matmul), head concat, output projection,
+    residual add + layer norm, then a GELU feed-forward (up/down projection)
+    with its own residual add + layer norm.  The GELU is a standalone node —
+    real exports never pre-fuse it — so the ``fuse-epilogue`` pass has work
+    to do at compile time.
+    """
+    if hidden % heads != 0:
+        raise ValueError(f"hidden={hidden} not divisible by heads={heads}")
+    if ffn_dim is None:
+        ffn_dim = 4 * hidden
+    rows = batch_size * seq_len
+    head_dim = hidden // heads
+    sections = [head_dim] * heads
+
+    nodes: list[dict] = []
+    blocks: list[dict] = []
+
+    def block(name: str, members: list[str]) -> None:
+        blocks.append({"name": name, "nodes": members})
+
+    # --- Q/K/V projections and per-head slices ----------------------------
+    qkv = []
+    for proj in ("q", "k", "v"):
+        nodes.append({"name": f"{proj}_proj", "op_type": "MatMul",
+                      "inputs": ["tokens", f"w_{proj}"], "attrs": {}})
+        qkv.append(f"{proj}_proj")
+        for h in range(heads):
+            nodes.append({"name": f"{proj}{h}", "op_type": "split",
+                          "inputs": [f"{proj}_proj"],
+                          "attrs": {"sections": sections, "index": h}})
+            qkv.append(f"{proj}{h}")
+    block("qkv", qkv)
+
+    # --- per-head attention: transpose, scores, softmax, context ----------
+    attention = []
+    for h in range(heads):
+        nodes.append({"name": f"kT{h}", "op_type": "Transpose",
+                      "inputs": [f"k{h}"], "attrs": {"perm": [1, 0]}})
+        nodes.append({"name": f"scores{h}", "op_type": "MatMul",
+                      "inputs": [f"q{h}", f"kT{h}"], "attrs": {}})
+        nodes.append({"name": f"probs{h}", "op_type": "Softmax",
+                      "inputs": [f"scores{h}"], "attrs": {}})
+        nodes.append({"name": f"ctx{h}", "op_type": "MatMul",
+                      "inputs": [f"probs{h}", f"v{h}"], "attrs": {}})
+        attention.extend([f"kT{h}", f"scores{h}", f"probs{h}", f"ctx{h}"])
+    block("attention", attention)
+
+    # --- merge heads, project, residual, norm -----------------------------
+    nodes.extend([
+        {"name": "heads", "op_type": "Concat",
+         "inputs": [f"ctx{h}" for h in range(heads)], "attrs": {"axis": 1}},
+        {"name": "attn_proj", "op_type": "MatMul",
+         "inputs": ["heads", "w_out"], "attrs": {}},
+        {"name": "attn_res", "op_type": "Add",
+         "inputs": ["tokens", "attn_proj"], "attrs": {}},
+        {"name": "ln_attn", "op_type": "LayerNormalization",
+         "inputs": ["attn_res"], "attrs": {"epsilon": 1e-5}},
+    ])
+    block("merge", ["heads", "attn_proj", "attn_res", "ln_attn"])
+
+    # --- feed-forward with standalone GELU, residual, norm ----------------
+    nodes.extend([
+        {"name": "ffn_up", "op_type": "MatMul",
+         "inputs": ["ln_attn", "w_up"], "attrs": {}},
+        {"name": "ffn_act", "op_type": "Gelu",
+         "inputs": ["ffn_up"], "attrs": {}},
+        {"name": "ffn_down", "op_type": "MatMul",
+         "inputs": ["ffn_act", "w_down"], "attrs": {}},
+        {"name": "ffn_res", "op_type": "Add",
+         "inputs": ["ln_attn", "ffn_down"], "attrs": {}},
+        {"name": "ln_out", "op_type": "LayerNormalization",
+         "inputs": ["ffn_res"], "attrs": {"epsilon": 1e-5}},
+    ])
+    block("ffn", ["ffn_up", "ffn_act", "ffn_down", "ffn_res", "ln_out"])
+
+    return {
+        "ir": "onnx-subset",
+        "name": "transformer_block",
+        "inputs": [{"name": "tokens", "shape": [rows, hidden]}],
+        "initializers": [
+            {"name": "w_q", "shape": [hidden, hidden]},
+            {"name": "w_k", "shape": [hidden, hidden]},
+            {"name": "w_v", "shape": [hidden, hidden]},
+            {"name": "w_out", "shape": [hidden, hidden]},
+            {"name": "w_up", "shape": [hidden, ffn_dim]},
+            {"name": "w_down", "shape": [ffn_dim, hidden]},
+        ],
+        "nodes": nodes,
+        "blocks": blocks,
+    }
+
+
+def transformer_block(
+    batch_size: int = 1,
+    seq_len: int = 64,
+    hidden: int = 256,
+    heads: int = 2,
+    ffn_dim: int | None = None,
+) -> Graph:
+    """Build one transformer encoder block through the ONNX importer."""
+    # Imported lazily: repro.frontend imports the model zoo for name
+    # resolution, so a module-level import here would be circular.
+    from ..frontend import import_onnx
+
+    return import_onnx(
+        transformer_block_source(
+            batch_size=batch_size, seq_len=seq_len, hidden=hidden,
+            heads=heads, ffn_dim=ffn_dim,
+        )
+    )
+
+
+register_model(
+    ModelSpec(
+        name="transformer_block",
+        builder=transformer_block,
+        description="Transformer encoder block (MHA + GELU FFN), "
+                    "ingested through the ONNX-subset importer",
+        default_image_size=64,
+        operator_type="MatMul-LayerNorm",
+    )
+)

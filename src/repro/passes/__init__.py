@@ -23,10 +23,10 @@ serve-path compile gets faster.
 
 Quick start::
 
-    from repro.models import build_model
+    from repro.frontend import load
     from repro.passes import optimize_graph
 
-    graph = build_model("nasnet_a")
+    graph = load("nasnet_a")
     result = optimize_graph(graph)          # default pipeline, cached
     print(result.describe())                # per-pass rewrites + timings
     optimized = result.graph                # feed to IOSScheduler
@@ -62,6 +62,8 @@ from .rewrites import (
     CommonSubexpressionPass,
     EliminateDeadPass,
     FuseActivationPass,
+    FuseEpiloguePass,
+    SharedWeightCSEPass,
     SplitConcatSimplifyPass,
 )
 from .unfuse import unfuse_activations
@@ -77,7 +79,9 @@ __all__ = [
     "make_pass",
     "GraphRewriter",
     "FuseActivationPass",
+    "FuseEpiloguePass",
     "CommonSubexpressionPass",
+    "SharedWeightCSEPass",
     "SplitConcatSimplifyPass",
     "EliminateDeadPass",
     "CanonicalizePass",

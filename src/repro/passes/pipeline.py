@@ -3,7 +3,7 @@
 :func:`optimize_graph` is the one-call entry point the rest of the system
 uses: the engine's pass stage (:func:`repro.engine.stages.apply_passes` — and
 through it ``Engine(passes=...)``, the model zoo's
-``build_model(..., optimize=True)`` and the serving registry's
+``load(..., optimize=True)`` and the serving registry's
 ``ScheduleRegistry(passes=True)``) funnels through it.  Results are memoised
 per input-graph fingerprint, so repeated requests for the same structure
 (every batch rung of a model, every warm serving start) pay for the rewrite
@@ -32,7 +32,9 @@ __all__ = [
 #: graph has a stable serialised form.
 DEFAULT_PASSES = (
     "fuse-activation",
+    "fuse-epilogue",
     "cse",
+    "cse-shared-weights",
     "simplify-split-concat",
     "eliminate-dead",
     "canonicalize",

@@ -1,6 +1,6 @@
 """The built-in rewrite passes.
 
-Five semantics-preserving rewrites, each a :class:`~repro.passes.base.GraphPass`
+Seven semantics-preserving rewrites, each a :class:`~repro.passes.base.GraphPass`
 registered under a stable name:
 
 ``fuse-activation``
@@ -8,6 +8,14 @@ registered under a stable name:
     paper's Table 2: ``Conv-Relu`` (``Conv2d.activation``), ``Relu-SepConv``
     (``SeparableConv2d.pre_activation``) and ``Linear`` activations.  Also
     drops ReLUs that are no-ops because their input is already rectified.
+``fuse-epilogue``
+    Fold standalone ``Gelu`` nodes into the ``activation`` epilogue of the
+    preceding projection (``matmul``/``linear``/``conv2d``), completing the
+    importer's matmul+bias+activation folding for transformer FFN stacks.
+``cse-shared-weights``
+    Attention-block CSE: merge duplicate weightless (batched) matmuls, and
+    duplicate projections whose shared learned weights are *witnessed* by an
+    identical imported ``weight_id``.
 ``cse``
     Common-subexpression elimination within a block: duplicate *stateless*
     operators (pools, activations, adds, concats, splits, ...) with identical
@@ -40,7 +48,9 @@ from .rewriter import GraphRewriter
 
 __all__ = [
     "FuseActivationPass",
+    "FuseEpiloguePass",
     "CommonSubexpressionPass",
+    "SharedWeightCSEPass",
     "SplitConcatSimplifyPass",
     "EliminateDeadPass",
     "CanonicalizePass",
@@ -55,6 +65,8 @@ _ACTIVATION_CARRIERS = ("conv2d", "linear", "matmul")
 _RECTIFIED_KINDS = ("relu",)
 
 #: Stateless operator kinds CSE may merge: pure functions of their inputs.
+#: ``layer_norm`` is deliberately absent — its gain/bias are learned, so equal
+#: configuration does not imply equal weights.
 _STATELESS_KINDS = (
     "relu",
     "identity",
@@ -65,6 +77,9 @@ _STATELESS_KINDS = (
     "split",
     "flatten",
     "softmax",
+    "gelu",
+    "transpose",
+    "reshape",
 )
 
 
@@ -138,6 +153,42 @@ class FuseActivationPass(GraphPass):
 
 
 @register_pass
+class FuseEpiloguePass(GraphPass):
+    """Fold standalone GELU nodes into the preceding projection's epilogue.
+
+    The importer lowers transformer feed-forward stacks to
+    ``matmul -> gelu`` chains (the bias Add already folds at import time, so
+    the full ONNX ``MatMul + Add + Gelu`` pattern reduces here to one fused
+    schedule unit); this pass sets the carrier's ``activation`` attribute the
+    same way ``fuse-activation`` does for ReLU.  A GELU whose input is already
+    GELU-fused is a *not* a no-op (GELU is not idempotent), so only the
+    exclusive-consumer fold applies.
+    """
+
+    name = "fuse-epilogue"
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        rw = GraphRewriter(graph)
+        rewrites = 0
+        for gelu in rw.nodes_of_kind("gelu"):
+            if gelu not in rw.configs:
+                continue
+            producer = rw.inputs(gelu)[0]
+            if producer not in rw.configs:
+                continue
+            if rw.kind(producer) not in _ACTIVATION_CARRIERS:
+                continue
+            if rw.attrs(producer).get("activation") is None and rw.consumers(producer) == [gelu]:
+                rw.set_attr(producer, "activation", "gelu")
+                rw.redirect(gelu, producer)
+                rw.remove(gelu)
+                rewrites += 1
+        if not rewrites:
+            return graph, 0
+        return rw.rebuild(), rewrites
+
+
+@register_pass
 class CommonSubexpressionPass(GraphPass):
     """Merge duplicate stateless operators within each block.
 
@@ -175,6 +226,52 @@ class CommonSubexpressionPass(GraphPass):
                 kind,
                 json.dumps(rw.attrs(name), sort_keys=True, default=str),
                 tuple(inputs),
+            )
+            representative = seen.get(key)
+            if representative is None:
+                seen[key] = name
+                continue
+            rw.redirect(name, representative)
+            rw.remove(name)
+            rewrites += 1
+        if not rewrites:
+            return graph, 0
+        return rw.rebuild(), rewrites
+
+
+@register_pass
+class SharedWeightCSEPass(GraphPass):
+    """Attention-block CSE: merge duplicate matmuls whose equality is provable.
+
+    The plain ``cse`` pass refuses weighted operators — equal configuration
+    does not imply equal weights.  Imported graphs carry more evidence: a
+    projection matmul records the foreign initializer it reads as
+    ``weight_id``, so two projections of the same input through the *same*
+    initializer (a common pattern in multi-query attention exports, where the
+    K/V projections are shared across heads) provably compute the same tensor.
+    Batched (weightless) matmuls are pure functions of their inputs and merge
+    like any stateless operator.
+    """
+
+    name = "cse-shared-weights"
+
+    def run(self, graph: Graph) -> tuple[Graph, int]:
+        rw = GraphRewriter(graph)
+        rewrites = 0
+        seen: dict[tuple, str] = {}
+        for name in list(rw.order):
+            if name not in rw.configs or name not in rw.block_of:
+                continue
+            if rw.kind(name) != "matmul":
+                continue
+            attrs = rw.attrs(name)
+            weightless = attrs.get("out_features") is None
+            if not weightless and not attrs.get("weight_id"):
+                continue  # weighted with unknown weight identity: never merge
+            key = (
+                rw.block_of[name],
+                json.dumps(attrs, sort_keys=True, default=str),
+                tuple(rw.inputs(name)),
             )
             representative = seen.get(key)
             if representative is None:

@@ -18,13 +18,15 @@ __all__ = ["unfuse_activations"]
 
 
 def unfuse_activations(graph: Graph) -> Graph:
-    """Split every fused activation out into a standalone ``Relu`` node.
+    """Split every fused activation out into a standalone activation node.
 
-    ``Conv2d``/``Linear`` with ``activation="relu"`` become the bare operator
-    followed by a ``Relu``; ``SeparableConv2d`` with ``pre_activation=True``
-    becomes a ``Relu`` followed by the bare separable convolution.  The result
-    computes the same function with more (smaller) schedulable operators; the
-    ``fuse-activation`` pass inverts the transformation.
+    ``Conv2d``/``Linear``/``Matmul`` with ``activation="relu"`` (or
+    ``"gelu"``) become the bare operator followed by a ``Relu`` (``Gelu``);
+    ``SeparableConv2d`` with ``pre_activation=True`` becomes a ``Relu``
+    followed by the bare separable convolution.  The result computes the same
+    function with more (smaller) schedulable operators; the
+    ``fuse-activation`` and ``fuse-epilogue`` passes invert the
+    transformation.
     """
     rw = GraphRewriter(graph)
     for name in list(rw.order):
@@ -33,21 +35,22 @@ def unfuse_activations(graph: Graph) -> Graph:
         kind = rw.kind(name)
         block = rw.block_of.get(name)
         if kind in ("conv2d", "linear", "matmul"):
-            if rw.attrs(name).get("activation") != "relu":
+            activation = rw.attrs(name).get("activation")
+            if activation not in ("relu", "gelu"):
                 continue
             rw.set_attr(name, "activation", None)
-            relu = f"{name}__act"
-            # Consumers of the operator must now read the standalone ReLU.
+            act = f"{name}__act"
+            # Consumers of the operator must now read the standalone activation.
             for consumer in rw.consumers(name):
                 rw.set_inputs(
                     consumer,
-                    [relu if i == name else i for i in rw.inputs(consumer)],
+                    [act if i == name else i for i in rw.inputs(consumer)],
                 )
             if name in rw.outputs:
                 rw.outputs.discard(name)
-                rw.outputs.add(relu)
+                rw.outputs.add(act)
             rw.insert(
-                {"kind": "relu", "name": relu, "inputs": [name], "attrs": {}},
+                {"kind": activation, "name": act, "inputs": [name], "attrs": {}},
                 block=block,
                 after=name,
             )

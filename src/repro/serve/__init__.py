@@ -104,6 +104,7 @@ from .registry import (
     RegistryKey,
     RegistryStats,
     ScheduleRegistry,
+    model_dirname,
     reset_legacy_warnings,
 )
 from .request import (
@@ -175,6 +176,7 @@ __all__ = [
     "get_router",
     "list_admission_policies",
     "list_routers",
+    "model_dirname",
     "percentile",
     "poisson_arrivals",
     "run_fleet_comparison",

@@ -18,7 +18,10 @@ Layout on disk::
 
     <root>/<model>/<device>__<variant>__bs<batch_size>__<fingerprint>.json
 
-where ``<fingerprint>`` is the canonical structural fingerprint
+where ``<model>`` is the registry key's model string passed through
+:func:`model_dirname` (model-file paths like
+``examples/transformer_block.json`` collapse to one directory level) and
+``<fingerprint>`` is the canonical structural fingerprint
 (:func:`repro.ir.graph_fingerprint`) of the exact graph the schedule was
 searched for.  The fingerprint is part of the key: a schedule compiled for a
 pass-optimised graph can never be served for the raw graph (or vice versa),
@@ -35,6 +38,7 @@ graph.
 from __future__ import annotations
 
 import json
+import re
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -49,11 +53,11 @@ from ..hardware.device import DeviceSpec, get_device
 from ..hardware.kernel import CUDNN_PROFILE, KernelProfile
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
-from ..models import build_model
+from ..frontend import load
 from ..obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["RegistryKey", "RegistryStats", "RegistryError", "ScheduleRegistry",
-           "reset_legacy_warnings"]
+           "model_dirname", "reset_legacy_warnings"]
 
 #: Legacy entries already warned about, shared across registry instances.  A
 #: serving fleet builds one registry per worker over the same root; warning
@@ -69,6 +73,21 @@ def reset_legacy_warnings() -> None:
     spawning a new process.
     """
     _WARNED_LEGACY_PATHS.clear()
+
+
+def model_dirname(model: str) -> str:
+    """Filesystem-safe directory name for a model source string.
+
+    ``model`` may be a zoo name *or* a model-file path (the registry's
+    default ``graph_builder`` is :func:`repro.frontend.load`, which accepts
+    both).  A path such as ``examples/transformer_block.json`` must not turn
+    the single ``<root>/<model>/`` directory level into a nested tree — or
+    escape the root entirely via ``..`` — so every run of characters outside
+    ``[A-Za-z0-9._-]`` collapses to one ``_`` and leading/trailing dots are
+    stripped.  Zoo names are already safe and pass through unchanged.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", model).strip("._")
+    return safe or "model"
 
 
 @dataclass(frozen=True, order=True)
@@ -165,7 +184,7 @@ class ScheduleRegistry:
         :func:`repro.core.normalize_variant`.
     graph_builder:
         How to obtain the computation graph for ``(model, batch_size)``;
-        defaults to :func:`repro.models.build_model`.  Override to serve
+        defaults to :func:`repro.frontend.load`.  Override to serve
         graphs that are not in the model zoo.
     scheduler_factory:
         Override the scheduler the per-device engines compile with (tests
@@ -200,7 +219,7 @@ class ScheduleRegistry:
         self.passes = passes
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._graph_builder = graph_builder or (
-            lambda model, batch_size: build_model(model, batch_size=batch_size)
+            lambda model, batch_size: load(model, batch_size=batch_size)
         )
         self._scheduler_factory = scheduler_factory or _default_scheduler
         self._cache: dict[RegistryKey, CompiledModel] = {}
@@ -221,7 +240,7 @@ class ScheduleRegistry:
         """Where ``key`` persists on disk (``None`` for in-memory registries)."""
         if self.root is None:
             return None
-        return self.root / key.model / key.filename()
+        return self.root / model_dirname(key.model) / key.filename()
 
     def engine_for(self, device: DeviceSpec) -> Engine:
         """The compile engine for ``device`` (one per device, shared cache).
@@ -332,7 +351,7 @@ class ScheduleRegistry:
             if key.model == model and key.device == device_name and key.variant == self.variant
         }
         if self.root is not None:
-            model_dir = self.root / model
+            model_dir = self.root / model_dirname(model)
             if model_dir.is_dir():
                 for path in model_dir.glob(f"{device_name}__{self.variant}__bs*.json"):
                     try:

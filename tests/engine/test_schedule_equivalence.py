@@ -38,7 +38,7 @@ from repro.core import (
 from repro.engine import Engine
 from repro.ir.graph import GraphBuilder
 from repro.ir.tensor import TensorShape
-from repro.models import build_model
+from repro.frontend import load
 
 SEEDS = range(50)
 ZOO_MODELS = ["squeezenet", "resnet_18", "vgg_16"]
@@ -93,7 +93,7 @@ class TestMemoizedEqualsSerial:
 
     @pytest.mark.parametrize("model", ZOO_MODELS)
     def test_zoo_models(self, model):
-        graph = build_model(model)
+        graph = load(model)
         plain = _plain_scheduler().optimize_graph(graph)
 
         clear_schedule_memo()
@@ -133,7 +133,7 @@ class TestParallelEqualsSerial:
         assert_results_identical(serial, fanout)
 
     def test_zoo_model(self):
-        graph = build_model("squeezenet")
+        graph = load("squeezenet")
         serial = _plain_scheduler().optimize_graph(graph, jobs=1)
 
         clear_schedule_memo()
@@ -208,6 +208,60 @@ class TestIncrementalRecompilation:
             return
         assert all(s.source in ("spliced", "empty") for s in second.search.block_stats)
         assert_results_identical(first.search, second.search)
+
+
+class TestImportedGraphs:
+    """Frontend-imported graphs go through the same fast paths as zoo models:
+    memoized, parallel and incremental searches must stay bit-identical."""
+
+    def _transformer(self, heads=2):
+        from pathlib import Path
+
+        from repro.frontend import load
+
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        if heads == 2:
+            return load(examples / "transformer_block.json")
+        from repro.models import transformer_block
+
+        return transformer_block(heads=heads)
+
+    def test_memoized_equals_serial_on_the_imported_transformer(self):
+        graph = self._transformer()
+        plain = _plain_scheduler().optimize_graph(graph)
+
+        clear_schedule_memo()
+        warm = _fast_scheduler().optimize_graph(graph)
+        assert_results_identical(plain, warm)
+
+        hit = _fast_scheduler().optimize_graph(graph)
+        assert_results_identical(plain, hit)
+        assert not any(
+            stats.source in ("search", "parallel") for stats in hit.block_stats
+        )
+
+    def test_parallel_equals_serial_on_the_imported_transformer(self):
+        graph = self._transformer()
+        serial = _plain_scheduler().optimize_graph(graph, jobs=1)
+
+        clear_schedule_memo()
+        fanout = _fast_scheduler().optimize_graph(graph, jobs=2)
+        assert_results_identical(serial, fanout)
+
+    def test_head_count_change_only_researches_dirty_blocks(self):
+        # Going from 2 to 4 heads rewrites the qkv/attention/merge blocks but
+        # leaves the ffn block (same boundary shapes) spliceable.
+        engine = _flops_engine()
+        engine.compile(self._transformer(heads=2))
+        clear_schedule_memo()
+        second = engine.compile(self._transformer(heads=4))
+        sources = {s.block_name: s.source for s in second.search.block_stats}
+        assert sources["ffn"] == "spliced"
+        assert sources["attention"] in ("search", "parallel")
+
+        clear_schedule_memo()
+        cold = _flops_engine().compile(self._transformer(heads=4))
+        assert stage_signature(second.schedule) == stage_signature(cold.schedule)
 
 
 class TestGroupDecomposition:

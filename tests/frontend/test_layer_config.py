@@ -1,0 +1,80 @@
+"""Layer-config importer: sequential stacks, aliases, registry errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import FrontendError, import_layer_config, load
+from repro.ir import graph_fingerprint
+
+
+def _tiny_vgg():
+    return {
+        "format": "layer-config",
+        "name": "tiny_vgg",
+        "input": [1, 3, 32, 32],
+        "layers": [
+            {"type": "conv", "out_channels": 16, "kernel": 3, "activation": "relu"},
+            {"type": "maxpool", "kernel": 2, "stride": 2, "padding": 0},
+            {"type": "flatten"},
+            {"type": "fc", "out_features": 10},
+        ],
+    }
+
+
+def test_sequential_stack_imports_and_validates():
+    graph = import_layer_config(_tiny_vgg())
+    assert [b.name for b in graph.blocks] == ["layers"]
+    kinds = [graph.nodes[n].kind for n in graph.topological_order()
+             if graph.nodes[n].kind != "placeholder"]
+    assert kinds == ["conv2d", "pool2d", "flatten", "linear"]
+    assert graph.nodes["l3_linear"].output_shape.dims() == (1, 10)
+
+
+def test_aliases_cover_torchvision_spellings():
+    doc = {
+        "format": "layer-config",
+        "input": [4, 128],
+        "layers": [
+            {"type": "dense", "out_features": 64},
+            {"type": "layernorm"},
+            {"type": "gelu"},
+        ],
+    }
+    graph = import_layer_config(doc)
+    kinds = {graph.nodes[n].kind for n in graph.nodes}
+    assert {"linear", "layer_norm", "gelu"} <= kinds
+
+
+def test_explicit_layer_names_are_kept():
+    doc = _tiny_vgg()
+    doc["layers"][0]["name"] = "stem"
+    graph = import_layer_config(doc)
+    assert "stem" in graph.nodes
+
+
+def test_typo_fails_with_nearest_name_suggestion():
+    doc = _tiny_vgg()
+    doc["layers"][0]["type"] = "conv2"
+    with pytest.raises(FrontendError, match="Did you mean 'conv2d'"):
+        import_layer_config(doc)
+
+
+def test_missing_type_is_rejected():
+    doc = _tiny_vgg()
+    del doc["layers"][0]["type"]
+    with pytest.raises(FrontendError, match="missing its 'type'"):
+        import_layer_config(doc)
+
+
+def test_bad_input_rank_is_rejected():
+    doc = _tiny_vgg()
+    doc["input"] = [1, 3, 32]
+    with pytest.raises(FrontendError, match="2-D or 4-D"):
+        import_layer_config(doc)
+
+
+def test_load_detects_layer_config_dicts():
+    assert graph_fingerprint(load(_tiny_vgg())) == graph_fingerprint(
+        import_layer_config(_tiny_vgg())
+    )

@@ -348,3 +348,42 @@ class TestPassOptimizedEntries:
         second.get("m", 1, v100)
         assert second.stats.searches == 0
         assert second.stats.disk_hits == 1
+
+
+class TestPathLikeModelNames:
+    """Model strings may be file paths (the default graph_builder is
+    ``repro.frontend.load``); the disk layout must stay one directory deep."""
+
+    def test_model_dirname_sanitizes_paths(self):
+        from repro.serve import model_dirname
+
+        assert model_dirname("squeezenet") == "squeezenet"
+        assert model_dirname("examples/transformer_block.json") == \
+            "examples_transformer_block.json"
+        assert model_dirname("..\\..\\evil.json") == "evil.json"
+        assert model_dirname("///") == "model"
+
+    def test_path_model_persists_under_a_sanitized_directory(self, tmp_path, v100):
+        registry = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        model = "some/dir/model.json"
+        registry.get(model, 1, v100)
+        path = registry.path_for(registry.key(model, 1, v100))
+        assert path.parent == tmp_path / "some_dir_model.json"
+        assert path.exists()
+        assert registry.cached_batch_sizes(model, v100) == [1]
+
+    def test_path_model_entries_are_warm_across_registries(self, tmp_path, v100):
+        model = "some/dir/model.json"
+        ScheduleRegistry(root=tmp_path, graph_builder=chain_builder).get(model, 1, v100)
+        fresh = ScheduleRegistry(root=tmp_path, graph_builder=chain_builder)
+        fresh.get(model, 1, v100)
+        assert fresh.stats.searches == 0
+        assert fresh.stats.disk_hits == 1
+
+    def test_example_transformer_serves_from_its_file(self, tmp_path, v100):
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        model = str(examples / "transformer_block.json")
+        registry = ScheduleRegistry(root=tmp_path, passes=True)
+        schedule = registry.get(model, 4, v100)
+        assert schedule.num_stages() > 0
+        assert registry.cached_batch_sizes(model, v100) == [4]

@@ -10,17 +10,22 @@ from repro.ir.ops import (
     Concat,
     Conv2d,
     Flatten,
+    Gelu,
     GlobalAvgPool,
     Identity,
+    LayerNorm,
     Linear,
     Matmul,
+    Opaque,
     Operator,
     Placeholder,
     Pool2d,
     Relu,
+    Reshape,
     SeparableConv2d,
     Softmax,
     Split,
+    Transpose,
     operator_from_config,
     register_operator,
 )
@@ -210,12 +215,85 @@ class TestLinear:
         fc.bind([TensorShape(2, 100)])
         assert fc.flops() == 2 * 2 * 100 * 10
 
-    def test_matmul_is_linear_alias(self):
-        assert issubclass(Matmul, Linear)
+    def test_matmul_is_first_class(self):
+        # Matmul used to subclass Linear, which priced phantom weights into
+        # the batched (two-operand) form; it is now a first-class operator.
+        assert not issubclass(Matmul, Linear)
         assert Matmul.kind == "matmul"
+
+    def test_matmul_projection_form_matches_linear(self):
+        mm = Matmul("m", ["x"], out_features=10)
+        fc = Linear("l", ["x"], out_features=10)
+        for op in (mm, fc):
+            op.bind([TensorShape(2, 100)])
+        assert mm.output_shape == fc.output_shape
+        assert mm.flops() == fc.flops()
+        assert mm.weight_count() == fc.weight_count()
+
+    def test_matmul_batched_form_is_weightless(self):
+        mm = Matmul("m", ["a", "b"])
+        mm.bind([TensorShape(64, 32), TensorShape(32, 48)])
+        assert mm.output_shape == TensorShape(64, 48)
+        assert mm.flops() == 2 * 64 * 32 * 48
+        assert mm.weight_count() == 0
+
+    def test_matmul_batched_form_rejects_mismatched_inner_dim(self):
+        mm = Matmul("m", ["a", "b"])
+        with pytest.raises(ValueError):
+            mm.bind([TensorShape(64, 32), TensorShape(31, 48)])
 
     def test_linear_merge_key(self):
         assert Linear("a", ["x"], 10).merge_key() == Linear("b", ["x"], 20).merge_key()
+
+
+class TestTransformerOps:
+    def test_layer_norm_preserves_shape_and_prices_gain_bias(self):
+        ln = LayerNorm("ln", ["x"])
+        ln.bind([TensorShape(4, 256)])
+        assert ln.output_shape == TensorShape(4, 256)
+        assert ln.weight_count() == 2 * 256
+        assert ln.flops() == 8 * 4 * 256
+
+    def test_gelu_preserves_shape(self):
+        ge = Gelu("g", ["x"])
+        ge.bind([TensorShape(4, 256)])
+        assert ge.output_shape == TensorShape(4, 256)
+        assert ge.flops() == 8 * 4 * 256
+
+    def test_transpose_swaps_matrix_axes(self):
+        t = Transpose("t", ["x"])
+        t.bind([TensorShape(64, 32)])
+        assert t.output_shape == TensorShape(32, 64)
+
+    def test_transpose_swaps_spatial_axes(self):
+        t = Transpose("t", ["x"])
+        t.bind([TensorShape(1, 8, 14, 7)])
+        assert t.output_shape == TensorShape(1, 8, 7, 14)
+
+    def test_reshape_preserves_numel_and_batch(self):
+        r = Reshape("r", ["x"], [64 * 28 * 28])
+        r.bind([X])
+        assert r.output_shape == TensorShape(1, 64 * 28 * 28)
+        assert not r.launches_kernel
+        with pytest.raises(ValueError):
+            Reshape("bad", ["x"], [7]).bind([X])
+
+    def test_opaque_rebatches_declared_shape(self):
+        o = Opaque("o", ["x"], op_type="Einsum", shape="1x64", digest="abc")
+        o.bind([TensorShape(8, 64)])
+        assert o.output_shape == TensorShape(8, 64)
+        # default cost: one pass over inputs + outputs
+        assert o.flops() == 8 * 64 * 2
+
+    def test_opaque_declared_flops_scale_with_batch(self):
+        o = Opaque("o", ["x"], op_type="Einsum", shape="1x64", flops=1000)
+        o.bind([TensorShape(4, 64)])
+        assert o.flops() == 4000
+
+    def test_opaque_digest_distinguishes_attrs(self):
+        a = Opaque("o", ["x"], op_type="Einsum", shape="1x64", digest="a")
+        b = Opaque("o", ["x"], op_type="Einsum", shape="1x64", digest="b")
+        assert a.attrs() != b.attrs()
 
 
 class TestRegistryAndSerialization:
@@ -253,6 +331,11 @@ class TestRegistryAndSerialization:
             "matmul": Matmul("m", ["x"], 16),
             "softmax": Softmax("sm", ["x"]),
             "global_avg_pool": GlobalAvgPool("g", ["x"]),
+            "layer_norm": LayerNorm("ln", ["x"]),
+            "gelu": Gelu("ge", ["x"]),
+            "transpose": Transpose("t", ["x"]),
+            "reshape": Reshape("rs", ["x"], [16]),
+            "opaque": Opaque("op", ["x"], op_type="Einsum", shape="1x16", digest="d"),
         }
         for kind, op in samples.items():
             rebuilt = operator_from_config(op.to_config())

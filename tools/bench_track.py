@@ -60,9 +60,13 @@ from repro.engine.compiled import CompiledModel  # noqa: E402
 from repro.serve import ServingConfig, TrafficConfig, run_serving  # noqa: E402
 from repro.serve.batcher import BatchPolicy  # noqa: E402
 
-COMPILE_MODELS = ("nasnet_a", "inception_v3")
-FAST_MODELS = ("squeezenet",)
+COMPILE_MODELS = ("nasnet_a", "inception_v3", "transformer_block")
+FAST_MODELS = ("squeezenet", "transformer_block")
 DEVICE = "v100"
+#: The checked-in example model the frontend-smoke CI job serves; benched
+#: through its file path so the importer + path-keyed registry flow is the
+#: thing being measured.
+TRANSFORMER_EXAMPLE = str(REPO_ROOT / "examples" / "transformer_block.json")
 
 
 def _commit() -> str:
@@ -142,7 +146,39 @@ def bench_serving(fast: bool) -> dict:
         "harness_wall_s": round(wall_s, 3),
     }
     metrics.update(bench_cluster(fast))
+    metrics.update(bench_transformer(fast))
     return metrics
+
+
+def bench_transformer(fast: bool) -> dict:
+    """Serve the example transformer straight from its JSON file.
+
+    The model reaches the workers through ``repro.frontend.load`` (import →
+    pass pipeline → schedule), so this point regresses when the importer, the
+    matmul/attention cost model or the new fusion passes do.
+    """
+    num_requests = 60 if fast else 240
+    traffic = TrafficConfig(
+        model=TRANSFORMER_EXAMPLE, pattern="bursty", num_requests=num_requests,
+        rate_rps=600.0, burst_size=16, burst_gap_ms=25.0, slo_ms=30.0, seed=5,
+    ).capped_to(8)
+    serving = ServingConfig(
+        model=TRANSFORMER_EXAMPLE, devices=("v100", "v100"),
+        batch_sizes=(1, 2, 4, 8),
+        policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0),
+        passes=True, admission="deadline",
+    )
+    start = time.perf_counter()
+    report = run_serving(traffic, serving)
+    wall_s = time.perf_counter() - start
+    slo = report.slo_summary
+    return {
+        "transformer_throughput_rps": round(report.throughput_rps, 3),
+        "transformer_p50_ms": round(report.latency.p50_ms, 4),
+        "transformer_p99_ms": round(report.latency.p99_ms, 4),
+        "transformer_attainment": round(slo.attainment_rate, 4),
+        "transformer_harness_wall_s": round(wall_s, 3),
+    }
 
 
 def bench_cluster(fast: bool) -> dict:
@@ -194,6 +230,8 @@ SERVING_CHECKS = {
     "cluster_attainment": ("higher", 0.05, 0.0),
     "cluster_p99_ms": ("lower", 0.15, 0.0),
     "cluster_transfer_ms": ("lower", 0.15, 0.0),
+    "transformer_p99_ms": ("lower", 0.15, 0.0),
+    "transformer_attainment": ("higher", 0.05, 0.0),
 }
 
 
